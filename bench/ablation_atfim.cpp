@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation of A-TFIM's design choices (DESIGN.md calls these out):
+ *   - Child Texel Consolidation on/off (duplicate child fetches hit
+ *     the vaults individually when off);
+ *   - Offloading Unit package compaction on/off (one full-size
+ *     package per missing parent when off);
+ *   - S-TFIM with quad-batched packages (the packaging fix that does
+ *     NOT rescue S-TFIM, showing the cache loss is the deeper issue).
+ */
+
+#include "bench_common.hh"
+
+using namespace texpim;
+using namespace texpim::bench;
+
+int
+main(int argc, char **argv)
+{
+    SuiteOptions opt = parseSuiteArgs(argc, argv);
+    printHeader("Ablation - A-TFIM and S-TFIM design choices",
+                "consolidation and package compaction each buy "
+                "traffic/latency; quad packaging alone does not fix "
+                "S-TFIM");
+
+    auto frame = [](const SimResult &r) {
+        return double(r.frame.frameCycles);
+    };
+    auto traffic = [](const SimResult &r) {
+        return double(r.textureTrafficBytes);
+    };
+
+    SimConfig base;
+    base.design = Design::Baseline;
+    auto b = runSuite(base, opt);
+    auto base_frame = metricOf(b, frame);
+    auto base_traffic = metricOf(b, traffic);
+
+    ResultTable speed("rendering speedup vs baseline (x)",
+                      workloadLabels(opt));
+    ResultTable traf("normalized texture traffic", workloadLabels(opt));
+
+    {
+        SimConfig cfg;
+        cfg.design = Design::ATfim;
+        auto r = runSuite(cfg, opt);
+        speed.addColumn("A-TFIM", ratio(base_frame, metricOf(r, frame)));
+        traf.addColumn("A-TFIM", ratio(metricOf(r, traffic), base_traffic));
+    }
+    {
+        SimConfig cfg;
+        cfg.design = Design::ATfim;
+        cfg.atfim.consolidateChildren = false;
+        auto r = runSuite(cfg, opt);
+        speed.addColumn("no-consolidation",
+                        ratio(base_frame, metricOf(r, frame)));
+        traf.addColumn("no-consolidation",
+                       ratio(metricOf(r, traffic), base_traffic));
+    }
+    {
+        SimConfig cfg;
+        cfg.design = Design::ATfim;
+        cfg.atfim.compactPackages = false;
+        auto r = runSuite(cfg, opt);
+        speed.addColumn("no-compaction",
+                        ratio(base_frame, metricOf(r, frame)));
+        traf.addColumn("no-compaction",
+                       ratio(metricOf(r, traffic), base_traffic));
+    }
+    {
+        SimConfig cfg;
+        cfg.design = Design::STfim;
+        auto r = runSuite(cfg, opt);
+        speed.addColumn("S-TFIM", ratio(base_frame, metricOf(r, frame)));
+        traf.addColumn("S-TFIM", ratio(metricOf(r, traffic), base_traffic));
+    }
+    {
+        SimConfig cfg;
+        cfg.design = Design::STfim;
+        cfg.mtu.requestsPerPackage = 4; // quad batching
+        auto r = runSuite(cfg, opt);
+        speed.addColumn("S-TFIM-quadpkg",
+                        ratio(base_frame, metricOf(r, frame)));
+        traf.addColumn("S-TFIM-quadpkg",
+                       ratio(metricOf(r, traffic), base_traffic));
+    }
+
+    speed.print(std::cout);
+    traf.print(std::cout);
+    return 0;
+}

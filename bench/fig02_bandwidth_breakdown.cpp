@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 2: memory-bandwidth usage breakdown of baseline 3D rendering.
+ * The paper reports texture fetches at ~60% of total memory access on
+ * average across the game/resolution suite.
+ */
+
+#include "bench_common.hh"
+
+using namespace texpim;
+using namespace texpim::bench;
+
+int
+main(int argc, char **argv)
+{
+    SuiteOptions opt = parseSuiteArgs(argc, argv);
+    printHeader("Fig. 2 - memory bandwidth usage breakdown (baseline GPU)",
+                "texture fetching ~60% of total memory access on average");
+
+    SimConfig cfg;
+    cfg.design = Design::Baseline;
+    auto results = runSuite(cfg, opt);
+
+    ResultTable table("off-chip traffic share by class (%)",
+                      workloadLabels(opt));
+    const TrafficClass classes[] = {
+        TrafficClass::Texture, TrafficClass::FrameBuffer,
+        TrafficClass::Geometry, TrafficClass::ZTest,
+        TrafficClass::ColorBuffer,
+    };
+    for (TrafficClass c : classes) {
+        table.addColumn(trafficClassName(c),
+                        metricOf(results, [&](const SimResult &r) {
+                            double t = double(r.offChipTotalBytes);
+                            return t > 0 ? 100.0 *
+                                               double(r.offChipBytesByClass
+                                                          [unsigned(c)]) /
+                                               t
+                                         : 0.0;
+                        }));
+    }
+    table.addColumn("total_MB", metricOf(results, [](const SimResult &r) {
+                        return double(r.offChipTotalBytes) / 1e6;
+                    }));
+    table.print(std::cout, 1);
+    return 0;
+}

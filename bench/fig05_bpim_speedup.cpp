@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 5: speedup of overall 3D rendering and of texture filtering
+ * when the GDDR5 memory is replaced by an HMC (B-PIM), with no other
+ * architectural change.
+ */
+
+#include "bench_common.hh"
+
+using namespace texpim;
+using namespace texpim::bench;
+
+int
+main(int argc, char **argv)
+{
+    SuiteOptions opt = parseSuiteArgs(argc, argv);
+    printHeader("Fig. 5 - B-PIM (HMC as drop-in memory) vs baseline",
+                "3D rendering +27% on average (up to 30%); texture "
+                "filtering up to ~1.7x");
+
+    SimConfig base;
+    base.design = Design::Baseline;
+    auto b = runSuite(base, opt);
+
+    SimConfig bpim;
+    bpim.design = Design::BPim;
+    auto p = runSuite(bpim, opt);
+
+    auto frame = [](const SimResult &r) {
+        return double(r.frame.frameCycles);
+    };
+    auto filt = [](const SimResult &r) {
+        return double(r.textureFilterCycles);
+    };
+
+    ResultTable table("B-PIM speedups over baseline", workloadLabels(opt));
+    table.addColumn("render_speedup",
+                    ratio(metricOf(b, frame), metricOf(p, frame)));
+    table.addColumn("texfilter_speedup",
+                    ratio(metricOf(b, filt), metricOf(p, filt)));
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 10: normalized texture-filtering speedup of the four designs
+ * (Baseline, B-PIM, S-TFIM, A-TFIM at the default 0.01 pi camera-angle
+ * threshold).
+ */
+
+#include "bench_common.hh"
+
+using namespace texpim;
+using namespace texpim::bench;
+
+int
+main(int argc, char **argv)
+{
+    SuiteOptions opt = parseSuiteArgs(argc, argv);
+    printHeader(
+        "Fig. 10 - texture filtering speedup under the four designs",
+        "A-TFIM 3.97x on average (up to 6.4x) over the baseline");
+
+    auto filt = [](const SimResult &r) {
+        return double(r.textureFilterCycles);
+    };
+
+    SimConfig base;
+    base.design = Design::Baseline;
+    auto b = runSuite(base, opt);
+    auto base_metric = metricOf(b, filt);
+
+    ResultTable table("texture filtering speedup (x)", workloadLabels(opt));
+    table.addColumn("Baseline", ratio(base_metric, base_metric));
+    for (Design d : {Design::BPim, Design::STfim, Design::ATfim}) {
+        SimConfig cfg;
+        cfg.design = d;
+        cfg.angleThresholdRad = kThreshold001Pi;
+        auto r = runSuite(cfg, opt);
+        std::string name = designName(d);
+        if (d == Design::ATfim)
+            name += "-001pi";
+        table.addColumn(name, ratio(base_metric, metricOf(r, filt)));
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 11: normalized overall 3D-rendering speedup of the four
+ * designs.
+ */
+
+#include "bench_common.hh"
+
+using namespace texpim;
+using namespace texpim::bench;
+
+int
+main(int argc, char **argv)
+{
+    SuiteOptions opt = parseSuiteArgs(argc, argv);
+    printHeader("Fig. 11 - 3D rendering speedup under the four designs",
+                "A-TFIM +43% on average (up to 65%); S-TFIM ~ B-PIM in "
+                "the paper (ours lands below baseline - see "
+                "EXPERIMENTS.md)");
+
+    auto frame = [](const SimResult &r) {
+        return double(r.frame.frameCycles);
+    };
+
+    SimConfig base;
+    base.design = Design::Baseline;
+    auto b = runSuite(base, opt);
+    auto base_metric = metricOf(b, frame);
+
+    ResultTable table("3D rendering speedup (x)", workloadLabels(opt));
+    table.addColumn("Baseline", ratio(base_metric, base_metric));
+    for (Design d : {Design::BPim, Design::STfim, Design::ATfim}) {
+        SimConfig cfg;
+        cfg.design = d;
+        cfg.angleThresholdRad = kThreshold001Pi;
+        auto r = runSuite(cfg, opt);
+        std::string name = designName(d);
+        if (d == Design::ATfim)
+            name += "-001pi";
+        table.addColumn(name, ratio(base_metric, metricOf(r, frame)));
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 12: texture memory traffic between the host GPU and the memory
+ * device (texel fetches plus PIM packages), normalized to the
+ * baseline, for B-PIM, S-TFIM and A-TFIM at the 0.01 pi and 0.05 pi
+ * camera-angle thresholds.
+ */
+
+#include "bench_common.hh"
+
+using namespace texpim;
+using namespace texpim::bench;
+
+int
+main(int argc, char **argv)
+{
+    SuiteOptions opt = parseSuiteArgs(argc, argv);
+    printHeader("Fig. 12 - off-chip texture memory traffic (normalized)",
+                "S-TFIM 2.79x baseline on average; A-TFIM-001pi ~1x; "
+                "A-TFIM-005pi 0.72x (down to 0.36x)");
+
+    auto traffic = [](const SimResult &r) {
+        return double(r.textureTrafficBytes);
+    };
+
+    SimConfig base;
+    base.design = Design::Baseline;
+    auto b = runSuite(base, opt);
+    auto base_metric = metricOf(b, traffic);
+
+    ResultTable table("normalized texture traffic", workloadLabels(opt));
+    table.addColumn("Baseline", ratio(base_metric, base_metric));
+
+    SimConfig bpim;
+    bpim.design = Design::BPim;
+    table.addColumn("B-PIM",
+                    ratio(metricOf(runSuite(bpim, opt), traffic),
+                          base_metric));
+
+    SimConfig stfim;
+    stfim.design = Design::STfim;
+    table.addColumn("S-TFIM",
+                    ratio(metricOf(runSuite(stfim, opt), traffic),
+                          base_metric));
+
+    for (float thr : {kThreshold001Pi, kThreshold005Pi}) {
+        SimConfig atfim;
+        atfim.design = Design::ATfim;
+        atfim.angleThresholdRad = thr;
+        std::string name = thr == kThreshold001Pi ? "A-TFIM-001pi"
+                                                  : "A-TFIM-005pi";
+        table.addColumn(name,
+                        ratio(metricOf(runSuite(atfim, opt), traffic),
+                              base_metric));
+    }
+    table.print(std::cout);
+    return 0;
+}

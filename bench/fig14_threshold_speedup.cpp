@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 14: A-TFIM 3D-rendering speedup across the camera-angle
+ * thresholds of §VII-D (0.005 pi ... no recalculation).
+ */
+
+#include "bench_common.hh"
+
+using namespace texpim;
+using namespace texpim::bench;
+
+int
+main(int argc, char **argv)
+{
+    SuiteOptions opt = parseSuiteArgs(argc, argv);
+    printHeader("Fig. 14 - A-TFIM rendering speedup vs angle threshold",
+                "speedup grows as the threshold loosens (~1.35x at "
+                "0.005pi to ~1.47x at no-recalculation)");
+
+    auto frame = [](const SimResult &r) {
+        return double(r.frame.frameCycles);
+    };
+
+    SimConfig base;
+    base.design = Design::Baseline;
+    auto b = runSuite(base, opt);
+    auto base_metric = metricOf(b, frame);
+
+    struct Point
+    {
+        const char *name;
+        float thr;
+    };
+    const Point points[] = {
+        {"A-TFIM-0005pi", kThreshold0005Pi}, {"A-TFIM-001pi", kThreshold001Pi},
+        {"A-TFIM-005pi", kThreshold005Pi},   {"A-TFIM-01pi", kThreshold01Pi},
+        {"A-TFIM-no", kThresholdNoRecalc},
+    };
+
+    ResultTable table("A-TFIM rendering speedup (x)", workloadLabels(opt));
+    for (const Point &p : points) {
+        SimConfig cfg;
+        cfg.design = Design::ATfim;
+        cfg.angleThresholdRad = p.thr;
+        table.addColumn(p.name,
+                        ratio(base_metric,
+                              metricOf(runSuite(cfg, opt), frame)));
+    }
+    table.print(std::cout);
+    return 0;
+}

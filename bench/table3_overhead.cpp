@@ -1,0 +1,52 @@
+/**
+ * @file
+ * §VII-E: design-overhead analysis — storage and logic area added by
+ * A-TFIM on the HMC logic layer and on the host GPU, via the
+ * CACTI-lite area model at 28 nm.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "power/area_model.hh"
+
+using namespace texpim;
+
+int
+main()
+{
+    SimConfig cfg;
+    AreaParams area;
+
+    // Parent Texel Buffer entry: 8-bit parent id + 32-bit value +
+    // 1 done bit + 4-bit child count = 45 bits (§VII-E).
+    AtfimOverhead o = computeAtfimOverhead(
+        area, cfg.atfim.parentTexelBufferEntries, 45, 256, 16, cfg.gpu.texL1,
+        cfg.gpu.texL2, cfg.gpu.clusters);
+
+    std::printf("SVII-E. A-TFIM DESIGN OVERHEAD (28 nm)\n\n");
+    std::printf("HMC logic layer\n");
+    std::printf("  %-38s %.2f KB\n", "Parent Texel Buffer (paper: 1.41 KB)",
+                o.parentTexelBufferKB);
+    std::printf("  %-38s %.2f KB\n",
+                "Child Texel Consolidation (paper: 0.5 KB)",
+                o.consolidationBufferKB);
+    std::printf("  %-38s %.2f mm^2\n", "storage area (paper: 1.12 mm^2)",
+                o.hmcStorageMm2);
+    std::printf("  %-38s %.2f mm^2\n", "logic units (paper: 6.09 mm^2)",
+                o.hmcLogicMm2);
+    std::printf("  %-38s %.2f%% of an 8 Gb die (paper: 3.18%%)\n",
+                "total overhead", 100.0 * o.hmcFractionOfDie);
+
+    std::printf("\nHost GPU\n");
+    std::printf("  %-38s %.2f KB (paper: 0.21 KB)\n",
+                "angle bits per L1 cache", o.l1AngleKBPerCache);
+    std::printf("  %-38s %.2f KB (paper: 1.75 KB)\n", "angle bits in L2",
+                o.l2AngleKB);
+    std::printf("  %-38s %.2f KB (paper: 4.2 KB)\n", "total storage",
+                o.gpuStorageKB);
+    std::printf("  %-38s %.2f mm^2, %.2f%% of the GPU die "
+                "(paper: 0.31 mm^2, 0.23%%)\n",
+                "area", o.gpuAreaMm2, 100.0 * o.gpuFractionOfDie);
+    return 0;
+}

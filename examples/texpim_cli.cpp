@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The `texpim` command-line driver: render workloads or traces under
+ * any design point, compare designs, and dump configurations — the
+ * day-to-day entry point for using the simulator outside the canned
+ * benches.
+ *
+ *   texpim render  <game|trace.texpim> [key=value ...]
+ *   texpim compare <game> [key=value ...]
+ *   texpim frames  <game> <count> [key=value ...]
+ *   texpim config  [key=value ...]
+ *
+ * Recognized keys: every SimConfig key (design=..., gpu.*, hmc.*,
+ * gddr5.*, atfim.*, energy.*, pim.*) plus:
+ *   width=, height=, frame=, seed=, max_aniso=, out=<frame.ppm>,
+ *   compress=true (BC1 textures)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "quality/image_metrics.hh"
+#include "scene/trace.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+using namespace texpim;
+
+namespace {
+
+bool
+parseGame(const std::string &g, Game &out)
+{
+    if (g == "doom3")
+        out = Game::Doom3;
+    else if (g == "fear")
+        out = Game::Fear;
+    else if (g == "hl2")
+        out = Game::HalfLife2;
+    else if (g == "riddick")
+        out = Game::Riddick;
+    else if (g == "wolfenstein")
+        out = Game::Wolfenstein;
+    else
+        return false;
+    return true;
+}
+
+Config
+collectConfig(int argc, char **argv, int first)
+{
+    Config cfg;
+    for (int i = first; i < argc; ++i)
+        cfg.parseItem(argv[i]);
+    return cfg;
+}
+
+Scene
+loadScene(const std::string &source, const Config &cfg)
+{
+    Scene scene;
+    Game game;
+    if (parseGame(source, game)) {
+        Workload wl{game, unsigned(cfg.getInt("width", 640)),
+                    unsigned(cfg.getInt("height", 480))};
+        scene = buildGameScene(wl, unsigned(cfg.getInt("frame", 3)),
+                               u64(cfg.getInt("seed", 0x7e01d)));
+    } else {
+        scene = readTraceFile(source);
+    }
+    if (cfg.has("max_aniso"))
+        scene.settings.maxAniso = unsigned(cfg.getInt("max_aniso"));
+    if (cfg.getBool("compress", false))
+        scene = withTextureFormat(scene, TexelFormat::Bc1);
+    return scene;
+}
+
+void
+printResult(const char *tag, const SimResult &r)
+{
+    std::printf("%-10s %12llu cycles | tex-filter %12llu | off-chip "
+                "%7.2f MB (tex %5.1f%%) | %7.2f mJ | recalcs %llu\n",
+                tag, (unsigned long long)r.frame.frameCycles,
+                (unsigned long long)r.textureFilterCycles,
+                double(r.offChipTotalBytes) / 1e6,
+                r.offChipTotalBytes
+                    ? 100.0 * double(r.textureTrafficBytes) /
+                          double(r.offChipTotalBytes)
+                    : 0.0,
+                r.energy.total() * 1e3,
+                (unsigned long long)r.angleRecalcs);
+}
+
+int
+cmdRender(int argc, char **argv)
+{
+    if (argc < 3)
+        TEXPIM_FATAL("usage: texpim render <game|trace> [key=value ...]");
+    Config cfg = collectConfig(argc, argv, 3);
+    Scene scene = loadScene(argv[2], cfg);
+    SimConfig sc = SimConfig::fromConfig(cfg);
+    RenderingSimulator sim(sc);
+    SimResult r = sim.renderScene(scene);
+    printResult(designName(sc.design), r);
+    std::string out = cfg.getString("out", "");
+    if (!out.empty()) {
+        writePpm(*r.image, out);
+        std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+}
+
+int
+cmdCompare(int argc, char **argv)
+{
+    if (argc < 3)
+        TEXPIM_FATAL("usage: texpim compare <game|trace> [key=value ...]");
+    Config cfg = collectConfig(argc, argv, 3);
+    Scene scene = loadScene(argv[2], cfg);
+
+    SimResult base;
+    for (Design d : {Design::Baseline, Design::BPim, Design::STfim,
+                     Design::ATfim}) {
+        SimConfig sc = SimConfig::fromConfig(cfg);
+        sc.design = d;
+        RenderingSimulator sim(sc);
+        SimResult r = sim.renderScene(scene);
+        if (d == Design::Baseline)
+            base = r;
+        printResult(designName(d), r);
+        if (d != Design::Baseline) {
+            std::printf("%-10s render %.2fx, tex-filter %.2fx, PSNR "
+                        "%.1f\n",
+                        "", double(base.frame.frameCycles) /
+                                double(r.frame.frameCycles),
+                        double(base.textureFilterCycles) /
+                            double(r.textureFilterCycles),
+                        psnr(*base.image, *r.image));
+        }
+    }
+    return 0;
+}
+
+int
+cmdFrames(int argc, char **argv)
+{
+    if (argc < 4)
+        TEXPIM_FATAL(
+            "usage: texpim frames <game> <count> [key=value ...]");
+    Game game;
+    if (!parseGame(argv[2], game))
+        TEXPIM_FATAL("unknown game '", argv[2], "'");
+    unsigned count = unsigned(std::atoi(argv[3]));
+    Config cfg = collectConfig(argc, argv, 4);
+    Workload wl{game, unsigned(cfg.getInt("width", 640)),
+                unsigned(cfg.getInt("height", 480))};
+    SimConfig sc = SimConfig::fromConfig(cfg);
+    RenderingSimulator sim(sc);
+    auto frames = sim.renderSequence(wl, count,
+                                     unsigned(cfg.getInt("frame", 0)),
+                                     u64(cfg.getInt("seed", 0x7e01d)));
+    for (unsigned f = 0; f < frames.size(); ++f) {
+        char tag[32];
+        std::snprintf(tag, sizeof tag, "frame %u", f);
+        printResult(tag, frames[f]);
+    }
+    return 0;
+}
+
+int
+cmdConfig(int argc, char **argv)
+{
+    Config cfg = collectConfig(argc, argv, 2);
+    SimConfig sc = SimConfig::fromConfig(cfg);
+    std::printf("design: %s\n", designName(sc.design));
+    std::printf("gpu: %u clusters x %u shaders, tile %u, tex unit %u+%u "
+                "ALUs, L1 %llu KB, L2 %llu KB, window %u\n",
+                sc.gpu.clusters, sc.gpu.shadersPerCluster, sc.gpu.tileSize,
+                sc.gpu.texAddressAlus, sc.gpu.texFilterAlus,
+                (unsigned long long)(sc.gpu.texL1.sizeBytes / 1024),
+                (unsigned long long)(sc.gpu.texL2.sizeBytes / 1024),
+                sc.gpu.maxInflightTexRequests);
+    std::printf("gddr5: %.0f GB/s over %u channels\n",
+                sc.gddr5.totalBandwidthGBs, sc.gddr5.channels);
+    std::printf("hmc: %.0f GB/s external, %.0f GB/s internal, %u vaults\n",
+                sc.hmc.externalBandwidthGBs, sc.hmc.internalBandwidthGBs,
+                sc.hmc.vaults);
+    std::printf("atfim: threshold %.4f rad, %u-wide generator/combiner, "
+                "PTB %u\n",
+                double(sc.angleThresholdRad), sc.atfim.texelGeneratorAlus,
+                sc.atfim.parentTexelBufferEntries);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: texpim <render|compare|frames|config> ...\n");
+        return 2;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "render")
+        return cmdRender(argc, argv);
+    if (cmd == "compare")
+        return cmdCompare(argc, argv);
+    if (cmd == "frames")
+        return cmdFrames(argc, argv);
+    if (cmd == "config")
+        return cmdConfig(argc, argv);
+    TEXPIM_FATAL("unknown command '", cmd, "'");
+}

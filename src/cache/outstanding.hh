@@ -1,0 +1,82 @@
+/**
+ * @file
+ * MSHR-style outstanding-miss tracker.
+ *
+ * When several texel fetches in flight touch the same cache line, only
+ * the first goes to memory; the rest merge onto the outstanding entry
+ * and inherit its completion cycle. Entries whose completion time has
+ * passed are pruned lazily.
+ */
+
+#ifndef TEXPIM_CACHE_OUTSTANDING_HH
+#define TEXPIM_CACHE_OUTSTANDING_HH
+
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace texpim {
+
+class OutstandingMisses
+{
+  public:
+    /**
+     * If `line` is already outstanding at `now`, return its completion
+     * cycle (a merge); otherwise return kNeverCycle.
+     */
+    Cycle
+    lookup(Addr line, Cycle now)
+    {
+        maybePrune(now);
+        auto it = pending_.find(line);
+        if (it == pending_.end() || it->second <= now)
+            return kNeverCycle;
+        ++merges_;
+        return it->second;
+    }
+
+    /** Record a new outstanding miss completing at `ready`. */
+    void
+    insert(Addr line, Cycle ready)
+    {
+        pending_[line] = ready;
+        ++misses_;
+    }
+
+    u64 merges() const { return merges_; }
+    u64 misses() const { return misses_; }
+    size_t inFlight() const { return pending_.size(); }
+
+    void
+    clear()
+    {
+        pending_.clear();
+    }
+
+    void resetStats() { merges_ = misses_ = 0; }
+
+  private:
+    void
+    maybePrune(Cycle now)
+    {
+        // Amortized cleanup: prune at most every 4096 lookups.
+        if (++lookups_since_prune_ < 4096)
+            return;
+        lookups_since_prune_ = 0;
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->second <= now)
+                it = pending_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    std::unordered_map<Addr, Cycle> pending_;
+    u64 merges_ = 0;
+    u64 misses_ = 0;
+    unsigned lookups_since_prune_ = 0;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_CACHE_OUTSTANDING_HH

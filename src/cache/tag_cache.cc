@@ -1,0 +1,163 @@
+#include "cache/tag_cache.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+constexpr float kDegPerRad = 180.0f / kPi;
+
+bool
+isPowerOfTwo(u64 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+u8
+quantizeAngle(float radians)
+{
+    float deg = std::fabs(radians) * kDegPerRad;
+    // Angles are symmetric around pi; fold into [0, 180).
+    deg = std::fmod(deg, 180.0f);
+    int code = int(std::lround(deg));
+    return u8(std::clamp(code, 0, 127)); // 7-bit storage (SVII-E)
+}
+
+float
+dequantizeAngle(u8 code)
+{
+    return float(code) / kDegPerRad;
+}
+
+TagCache::TagCache(std::string name, const CacheParams &params)
+    : name_(std::move(name)), params_(params)
+{
+    TEXPIM_ASSERT(params_.ways > 0, "cache needs at least one way");
+    TEXPIM_ASSERT(isPowerOfTwo(params_.lineBytes),
+                  "line size must be a power of two");
+    u64 lines = params_.sizeBytes / params_.lineBytes;
+    TEXPIM_ASSERT(lines >= params_.ways,
+                  "cache too small for its associativity");
+    num_sets_ = unsigned(lines / params_.ways);
+    TEXPIM_ASSERT(isPowerOfTwo(num_sets_),
+                  "set count must be a power of two (size=",
+                  params_.sizeBytes, " ways=", params_.ways, ")");
+    lines_.assign(size_t(num_sets_) * params_.ways, Line{});
+}
+
+TagCache::Line *
+TagCache::findLine(unsigned set, Addr tag)
+{
+    Line *base = &lines_[size_t(set) * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const TagCache::Line *
+TagCache::findLine(unsigned set, Addr tag) const
+{
+    return const_cast<TagCache *>(this)->findLine(set, tag);
+}
+
+TagCache::Line &
+TagCache::victim(unsigned set)
+{
+    Line *base = &lines_[size_t(set) * params_.ways];
+    Line *lru = &base[0];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lastUse < lru->lastUse)
+            lru = &base[w];
+    }
+    return *lru;
+}
+
+CacheOutcome
+TagCache::access(Addr addr)
+{
+    Addr line = lineAddr(addr);
+    unsigned set = unsigned((line / params_.lineBytes) % num_sets_);
+    ++use_clock_;
+
+    if (Line *l = findLine(set, line)) {
+        l->lastUse = use_clock_;
+        ++hits_;
+        return CacheOutcome::Hit;
+    }
+
+    Line &v = victim(set);
+    v.tag = line;
+    v.valid = true;
+    v.lastUse = use_clock_;
+    v.angleCode = 0;
+    ++misses_;
+    return CacheOutcome::Miss;
+}
+
+CacheOutcome
+TagCache::accessAngled(Addr addr, float angle_rad, float threshold_rad)
+{
+    Addr line = lineAddr(addr);
+    unsigned set = unsigned((line / params_.lineBytes) % num_sets_);
+    ++use_clock_;
+
+    u8 code = quantizeAngle(angle_rad);
+
+    if (Line *l = findLine(set, line)) {
+        l->lastUse = use_clock_;
+        bool never_recalc = threshold_rad < 0.0f;
+        float diff =
+            std::fabs(dequantizeAngle(l->angleCode) - dequantizeAngle(code));
+        if (never_recalc || diff <= threshold_rad) {
+            ++hits_;
+            return CacheOutcome::Hit;
+        }
+        // Same texel address, camera angle moved past the threshold:
+        // recalculate in memory and refresh the stored angle (SV-C).
+        l->angleCode = code;
+        ++angle_misses_;
+        return CacheOutcome::AngleMiss;
+    }
+
+    Line &v = victim(set);
+    v.tag = line;
+    v.valid = true;
+    v.lastUse = use_clock_;
+    v.angleCode = code;
+    ++misses_;
+    return CacheOutcome::Miss;
+}
+
+bool
+TagCache::contains(Addr addr) const
+{
+    Addr line = lineAddr(addr);
+    unsigned set = unsigned((line / params_.lineBytes) % num_sets_);
+    return findLine(set, line) != nullptr;
+}
+
+void
+TagCache::invalidateAll()
+{
+    for (auto &l : lines_)
+        l.valid = false;
+}
+
+void
+TagCache::resetStats()
+{
+    hits_ = misses_ = angle_misses_ = 0;
+}
+
+} // namespace texpim

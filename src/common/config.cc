@@ -1,0 +1,190 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::setInt(const std::string &key, i64 value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::setDouble(const std::string &key, double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    values_[key] = os.str();
+}
+
+void
+Config::setBool(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+void
+Config::parseItem(const std::string &item)
+{
+    size_t eq = item.find('=');
+    if (eq == std::string::npos)
+        TEXPIM_FATAL("malformed config item '", item, "' (expected key=value)");
+    std::string key = trim(item.substr(0, eq));
+    std::string value = trim(item.substr(eq + 1));
+    if (key.empty())
+        TEXPIM_FATAL("empty key in config item '", item, "'");
+    values_[key] = value;
+}
+
+void
+Config::parseText(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        parseItem(line);
+    }
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::optional<std::string>
+Config::rawGet(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key) const
+{
+    auto v = rawGet(key);
+    if (!v)
+        TEXPIM_FATAL("missing required config key '", key, "'");
+    return *v;
+}
+
+i64
+Config::getInt(const std::string &key) const
+{
+    std::string v = getString(key);
+    char *end = nullptr;
+    i64 r = std::strtoll(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        TEXPIM_FATAL("config key '", key, "' = '", v, "' is not an integer");
+    return r;
+}
+
+double
+Config::getDouble(const std::string &key) const
+{
+    std::string v = getString(key);
+    char *end = nullptr;
+    double r = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        TEXPIM_FATAL("config key '", key, "' = '", v, "' is not a number");
+    return r;
+}
+
+bool
+Config::getBool(const std::string &key) const
+{
+    std::string v = getString(key);
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return char(std::tolower(c)); });
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    TEXPIM_FATAL("config key '", key, "' = '", v, "' is not a boolean");
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &dflt) const
+{
+    auto v = rawGet(key);
+    return v ? *v : dflt;
+}
+
+i64
+Config::getInt(const std::string &key, i64 dflt) const
+{
+    return has(key) ? getInt(key) : dflt;
+}
+
+double
+Config::getDouble(const std::string &key, double dflt) const
+{
+    return has(key) ? getDouble(key) : dflt;
+}
+
+bool
+Config::getBool(const std::string &key, bool dflt) const
+{
+    return has(key) ? getBool(key) : dflt;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+void
+Config::dump(std::ostream &os) const
+{
+    for (const auto &kv : values_)
+        os << kv.first << " = " << kv.second << "\n";
+}
+
+void
+Config::mergeFrom(const Config &other)
+{
+    for (const auto &kv : other.values_)
+        values_[kv.first] = kv.second;
+}
+
+} // namespace texpim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Typed key=value configuration store.
+ *
+ * Components read their parameters from a Config populated from
+ * defaults, a file, or command-line style "key=value" strings. Lookups
+ * with a default never fail; lookups without a default fatal() on a
+ * missing key, making misconfiguration a user error, not a crash.
+ */
+
+#ifndef TEXPIM_COMMON_CONFIG_HH
+#define TEXPIM_COMMON_CONFIG_HH
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace texpim {
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+    void setInt(const std::string &key, i64 value);
+    void setDouble(const std::string &key, double value);
+    void setBool(const std::string &key, bool value);
+
+    /** Parse one "key=value" item; fatal() on malformed input. */
+    void parseItem(const std::string &item);
+
+    /** Parse a newline-separated config text ('#' starts a comment). */
+    void parseText(const std::string &text);
+
+    bool has(const std::string &key) const;
+
+    /** Required lookups: fatal() when the key is missing or malformed. */
+    std::string getString(const std::string &key) const;
+    i64 getInt(const std::string &key) const;
+    double getDouble(const std::string &key) const;
+    bool getBool(const std::string &key) const;
+
+    /** Defaulted lookups. */
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+    i64 getInt(const std::string &key, i64 dflt) const;
+    double getDouble(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+
+    /** All keys in sorted order (for dumps). */
+    std::vector<std::string> keys() const;
+
+    /** Dump as "key = value" rows. */
+    void dump(std::ostream &os) const;
+
+    /** Merge other into this; other's values win on conflict. */
+    void mergeFrom(const Config &other);
+
+  private:
+    std::optional<std::string> rawGet(const std::string &key) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_COMMON_CONFIG_HH

@@ -1,0 +1,62 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace texpim {
+
+namespace {
+
+std::atomic<unsigned long> warn_counter{0};
+std::atomic<bool> quiet{false};
+
+} // namespace
+
+unsigned long
+warnCount()
+{
+    return warn_counter.load();
+}
+
+void
+setLogQuiet(bool q)
+{
+    quiet.store(q);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warn_counter.fetch_add(1);
+    if (!quiet.load())
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet.load())
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace texpim

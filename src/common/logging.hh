@@ -1,0 +1,71 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - a simulator bug: something that must never happen happened.
+ *            Aborts so a debugger or core dump can capture state.
+ * fatal()  - a user error (bad configuration, invalid arguments). Exits
+ *            with a nonzero status, no core dump.
+ * warn()   - functionality that might not behave exactly as intended.
+ * inform() - normal operating message.
+ */
+
+#ifndef TEXPIM_COMMON_LOGGING_HH
+#define TEXPIM_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace texpim {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate any streamable arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    if constexpr (sizeof...(Args) > 0)
+        (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Number of warn() calls issued so far (useful in tests). */
+unsigned long warnCount();
+
+/** Silence warn()/inform() output (tests exercising error paths). */
+void setLogQuiet(bool quiet);
+
+#define TEXPIM_PANIC(...) \
+    ::texpim::detail::panicImpl(__FILE__, __LINE__, \
+                                ::texpim::detail::concat(__VA_ARGS__))
+
+#define TEXPIM_FATAL(...) \
+    ::texpim::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::texpim::detail::concat(__VA_ARGS__))
+
+#define TEXPIM_WARN(...) \
+    ::texpim::detail::warnImpl(::texpim::detail::concat(__VA_ARGS__))
+
+#define TEXPIM_INFORM(...) \
+    ::texpim::detail::informImpl(::texpim::detail::concat(__VA_ARGS__))
+
+/** panic() unless the invariant holds. */
+#define TEXPIM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            TEXPIM_PANIC("assertion '", #cond, "' failed: ", __VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace texpim
+
+#endif // TEXPIM_COMMON_LOGGING_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic xorshift64* pseudo-random generator.
+ *
+ * Every stochastic choice in the workload generator flows through an
+ * explicitly seeded Rng so that simulations are reproducible bit for bit
+ * across runs and machines.
+ */
+
+#ifndef TEXPIM_COMMON_RNG_HH
+#define TEXPIM_COMMON_RNG_HH
+
+#include "common/types.hh"
+
+namespace texpim {
+
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value (xorshift64*). */
+    u64
+    next()
+    {
+        u64 x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    u64
+    below(u64 n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64
+    range(i64 lo, i64 hi)
+    {
+        return lo + i64(below(u64(hi - lo + 1)));
+    }
+
+    /** Bernoulli trial. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    u64 state_;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_COMMON_RNG_HH

@@ -1,0 +1,113 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+StatHistogram::StatHistogram(double lo, double hi, unsigned buckets)
+    : lo_(lo), hi_(hi)
+{
+    TEXPIM_ASSERT(buckets >= 1, "histogram needs at least one bucket");
+    TEXPIM_ASSERT(hi > lo, "histogram range must be nonempty");
+    counts_.assign(buckets, 0);
+}
+
+void
+StatHistogram::sample(double v)
+{
+    if (samples_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++samples_;
+    sum_ += v;
+
+    double frac = (v - lo_) / (hi_ - lo_);
+    auto idx = i64(frac * double(counts_.size()));
+    idx = std::clamp<i64>(idx, 0, i64(counts_.size()) - 1);
+    ++counts_[size_t(idx)];
+}
+
+void
+StatHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    samples_ = 0;
+    sum_ = 0.0;
+    min_ = max_ = 0.0;
+}
+
+StatCounter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+StatAverage &
+StatGroup::average(const std::string &name)
+{
+    return averages_[name];
+}
+
+StatHistogram &
+StatGroup::histogram(const std::string &name, double lo, double hi,
+                     unsigned buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, StatHistogram(lo, hi, buckets)).first;
+    return it->second;
+}
+
+const StatCounter &
+StatGroup::findCounter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    TEXPIM_ASSERT(it != counters_.end(),
+                  "no counter '", name, "' in group '", name_, "'");
+    return it->second;
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : averages_)
+        kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_) {
+        os << std::left << std::setw(48) << (name_ + "." + kv.first)
+           << kv.second.value() << "\n";
+    }
+    for (const auto &kv : averages_) {
+        os << std::left << std::setw(48) << (name_ + "." + kv.first)
+           << kv.second.mean() << " (n=" << kv.second.count() << ")\n";
+    }
+    for (const auto &kv : histograms_) {
+        os << std::left << std::setw(48) << (name_ + "." + kv.first)
+           << "n=" << kv.second.samples()
+           << " mean=" << kv.second.mean()
+           << " min=" << kv.second.min()
+           << " max=" << kv.second.max() << "\n";
+    }
+}
+
+} // namespace texpim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, running
+ * averages and fixed-bucket histograms grouped under a StatGroup.
+ *
+ * Components own a StatGroup and register their statistics once at
+ * construction; the group can be reset per frame and dumped in a
+ * human-readable table. The design deliberately mirrors the feel of
+ * gem5's stats package at a fraction of the complexity.
+ */
+
+#ifndef TEXPIM_COMMON_STATS_HH
+#define TEXPIM_COMMON_STATS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace texpim {
+
+/** A named monotonically increasing (resettable) counter. */
+class StatCounter
+{
+  public:
+    StatCounter() = default;
+
+    StatCounter &operator+=(u64 v) { value_ += v; return *this; }
+    StatCounter &operator++() { ++value_; return *this; }
+
+    u64 value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/** A named running average (sum / count). */
+class StatAverage
+{
+  public:
+    void sample(double v) { sum_ += v; ++count_; }
+
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    u64 count() const { return count_; }
+    double sum() const { return sum_; }
+    void reset() { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    u64 count_ = 0;
+};
+
+/** A histogram with uniform buckets over [lo, hi); out-of-range samples
+ *  land in saturating end buckets. */
+class StatHistogram
+{
+  public:
+    StatHistogram() : StatHistogram(0.0, 1.0, 1) {}
+
+    /**
+     * @param lo lower bound of the first bucket
+     * @param hi upper bound of the last bucket
+     * @param buckets number of uniform buckets (>= 1)
+     */
+    StatHistogram(double lo, double hi, unsigned buckets);
+
+    void sample(double v);
+
+    u64 bucketCount(unsigned i) const { return counts_.at(i); }
+    unsigned buckets() const { return unsigned(counts_.size()); }
+    u64 samples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / double(samples_) : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<u64> counts_;
+    u64 samples_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A registry of named statistics belonging to one component.
+ *
+ * Registration returns a reference that stays valid for the lifetime of
+ * the group (node-based storage).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    StatCounter &counter(const std::string &name);
+    StatAverage &average(const std::string &name);
+    StatHistogram &histogram(const std::string &name, double lo, double hi,
+                             unsigned buckets);
+
+    /** Look up an existing counter; panics if absent. */
+    const StatCounter &findCounter(const std::string &name) const;
+
+    bool hasCounter(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Reset every statistic in the group to zero. */
+    void resetAll();
+
+    /** Pretty-print all statistics as "<group>.<stat>  <value>" rows. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, StatCounter> counters_;
+    std::map<std::string, StatAverage> averages_;
+    std::map<std::string, StatHistogram> histograms_;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_COMMON_STATS_HH

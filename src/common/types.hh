@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental integer and simulation types shared by every TexPIM module.
+ */
+
+#ifndef TEXPIM_COMMON_TYPES_HH
+#define TEXPIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace texpim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulation time expressed in GPU core cycles (1 GHz in Table I). */
+using Cycle = u64;
+
+/** A byte address in the simulated physical address space. */
+using Addr = u64;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kInvalidAddr = ~Addr{0};
+
+/** Sentinel for "never" / unreached cycle. */
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+} // namespace texpim
+
+#endif // TEXPIM_COMMON_TYPES_HH

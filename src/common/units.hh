@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit helpers: bandwidth, capacity and frequency conversions.
+ *
+ * The timing model works in GPU core cycles (Table I: 1 GHz). Bandwidths
+ * quoted in GB/s therefore convert to bytes per core cycle by dividing by
+ * the core frequency in GHz.
+ */
+
+#ifndef TEXPIM_COMMON_UNITS_HH
+#define TEXPIM_COMMON_UNITS_HH
+
+#include "common/types.hh"
+
+namespace texpim {
+
+inline constexpr u64 KiB = 1024ull;
+inline constexpr u64 MiB = 1024ull * KiB;
+inline constexpr u64 GiB = 1024ull * MiB;
+
+/** GB/s (decimal, as in memory-spec sheets) to bytes per core cycle. */
+constexpr double
+gbpsToBytesPerCycle(double gb_per_s, double core_ghz = 1.0)
+{
+    return gb_per_s / core_ghz; // 1 GB/s @ 1 GHz == 1 byte/cycle
+}
+
+/** Bytes per cycle back to GB/s for reporting. */
+constexpr double
+bytesPerCycleToGbps(double bytes_per_cycle, double core_ghz = 1.0)
+{
+    return bytes_per_cycle * core_ghz;
+}
+
+/** Cycles at the core clock needed to serialize `bytes` over a link of
+ *  `bytes_per_cycle` throughput, rounded up, at least `min_cycles`. */
+constexpr u64
+serializationCycles(u64 bytes, double bytes_per_cycle, u64 min_cycles = 1)
+{
+    if (bytes_per_cycle <= 0.0)
+        return min_cycles;
+    double c = double(bytes) / bytes_per_cycle;
+    u64 whole = u64(c);
+    if (double(whole) < c)
+        ++whole;
+    return whole < min_cycles ? min_cycles : whole;
+}
+
+} // namespace texpim
+
+#endif // TEXPIM_COMMON_UNITS_HH

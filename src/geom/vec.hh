@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Small fixed-size vector types used throughout the renderer.
+ */
+
+#ifndef TEXPIM_GEOM_VEC_HH
+#define TEXPIM_GEOM_VEC_HH
+
+#include <cmath>
+
+namespace texpim {
+
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(float x_, float y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(float s) const { return {x / s, y / s}; }
+
+    constexpr float dot(Vec2 o) const { return x * o.x + y * o.y; }
+    float length() const { return std::sqrt(dot(*this)); }
+};
+
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(Vec3 o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(Vec3 o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    constexpr float dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+
+    constexpr Vec3
+    cross(Vec3 o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    float length() const { return std::sqrt(dot(*this)); }
+
+    Vec3
+    normalized() const
+    {
+        float l = length();
+        return l > 0.0f ? *this / l : Vec3{0.0f, 0.0f, 0.0f};
+    }
+};
+
+struct Vec4
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 0.0f;
+
+    constexpr Vec4() = default;
+    constexpr Vec4(float x_, float y_, float z_, float w_)
+        : x(x_), y(y_), z(z_), w(w_)
+    {}
+    constexpr Vec4(Vec3 v, float w_) : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+    constexpr Vec4 operator+(Vec4 o) const
+    {
+        return {x + o.x, y + o.y, z + o.z, w + o.w};
+    }
+    constexpr Vec4 operator-(Vec4 o) const
+    {
+        return {x - o.x, y - o.y, z - o.z, w - o.w};
+    }
+    constexpr Vec4 operator*(float s) const
+    {
+        return {x * s, y * s, z * s, w * s};
+    }
+
+    constexpr float
+    dot(Vec4 o) const
+    {
+        return x * o.x + y * o.y + z * o.z + w * o.w;
+    }
+
+    constexpr Vec3 xyz() const { return {x, y, z}; }
+};
+
+/** Linear interpolation a + t (b - a) for vectors and scalars. */
+constexpr float lerp(float a, float b, float t) { return a + (b - a) * t; }
+constexpr Vec2 lerp(Vec2 a, Vec2 b, float t) { return a + (b - a) * t; }
+constexpr Vec3 lerp(Vec3 a, Vec3 b, float t) { return a + (b - a) * t; }
+constexpr Vec4 lerp(Vec4 a, Vec4 b, float t) { return a + (b - a) * t; }
+
+} // namespace texpim
+
+#endif // TEXPIM_GEOM_VEC_HH

@@ -1,0 +1,64 @@
+#include "gpu/framebuffer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+FrameBuffer::FrameBuffer(unsigned width, unsigned height)
+    : width_(width), height_(height)
+{
+    TEXPIM_ASSERT(width > 0 && height > 0, "empty framebuffer");
+    color_.assign(size_t(width) * height, Rgba8{0, 0, 0, 255});
+    depth_.assign(size_t(width) * height, 1.0f);
+}
+
+Rgba8
+FrameBuffer::pixel(unsigned x, unsigned y) const
+{
+    TEXPIM_ASSERT(x < width_ && y < height_, "pixel read out of range");
+    return color_[size_t(y) * width_ + x];
+}
+
+void
+FrameBuffer::setPixel(unsigned x, unsigned y, Rgba8 c)
+{
+    TEXPIM_ASSERT(x < width_ && y < height_, "pixel write out of range");
+    color_[size_t(y) * width_ + x] = c;
+}
+
+float
+FrameBuffer::depth(unsigned x, unsigned y) const
+{
+    TEXPIM_ASSERT(x < width_ && y < height_, "depth read out of range");
+    return depth_[size_t(y) * width_ + x];
+}
+
+void
+FrameBuffer::setDepth(unsigned x, unsigned y, float z)
+{
+    TEXPIM_ASSERT(x < width_ && y < height_, "depth write out of range");
+    depth_[size_t(y) * width_ + x] = z;
+}
+
+void
+FrameBuffer::clear(Rgba8 c)
+{
+    std::fill(color_.begin(), color_.end(), c);
+    std::fill(depth_.begin(), depth_.end(), 1.0f);
+}
+
+Addr
+FrameBuffer::colorAddr(unsigned x, unsigned y) const
+{
+    return kColorBase + (Addr(y) * width_ + x) * 4;
+}
+
+Addr
+FrameBuffer::depthAddr(unsigned x, unsigned y) const
+{
+    return kDepthBase + (Addr(y) * width_ + x) * 4;
+}
+
+} // namespace texpim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Color + depth framebuffer with address-space placement for the ROP
+ * traffic model.
+ */
+
+#ifndef TEXPIM_GPU_FRAMEBUFFER_HH
+#define TEXPIM_GPU_FRAMEBUFFER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "geom/color.hh"
+
+namespace texpim {
+
+class FrameBuffer
+{
+  public:
+    FrameBuffer(unsigned width, unsigned height);
+
+    unsigned width() const { return width_; }
+    unsigned height() const { return height_; }
+
+    Rgba8 pixel(unsigned x, unsigned y) const;
+    void setPixel(unsigned x, unsigned y, Rgba8 c);
+
+    /** Depth in NDC [-1, 1]; initialized to +1 (far). */
+    float depth(unsigned x, unsigned y) const;
+    void setDepth(unsigned x, unsigned y, float z);
+
+    /** Clear color to `c`, depth to far. */
+    void clear(Rgba8 c = {0, 0, 0, 255});
+
+    const std::vector<Rgba8> &colors() const { return color_; }
+
+    /** Simulated address of a color pixel (ROP traffic). */
+    Addr colorAddr(unsigned x, unsigned y) const;
+    /** Simulated address of a depth value (Z traffic). */
+    Addr depthAddr(unsigned x, unsigned y) const;
+
+    static constexpr Addr kColorBase = 0x8000'0000;
+    static constexpr Addr kDepthBase = 0x9000'0000;
+
+  private:
+    unsigned width_;
+    unsigned height_;
+    std::vector<Rgba8> color_;
+    std::vector<float> depth_;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_GPU_FRAMEBUFFER_HH

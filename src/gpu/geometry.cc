@@ -1,0 +1,127 @@
+#include "gpu/geometry.hh"
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+namespace {
+
+/** Near-plane epsilon in clip space: keep w comfortably positive. */
+constexpr float kNearEps = 1e-5f;
+
+/** Signed distance to the near-plane half-space (inside if > 0):
+ *  z + w > 0 for the OpenGL convention z_ndc >= -1. */
+float
+nearDist(const Vec4 &c)
+{
+    return c.z + c.w;
+}
+
+ShadedVertex
+lerpVertex(const ShadedVertex &a, const ShadedVertex &b, float t)
+{
+    ShadedVertex r;
+    r.clip = a.clip + (b.clip - a.clip) * t;
+    r.world = lerp(a.world, b.world, t);
+    r.normal = lerp(a.normal, b.normal, t);
+    r.uv = lerp(a.uv, b.uv, t);
+    return r;
+}
+
+/** Trivial-reject test: all three vertices outside one frustum plane. */
+bool
+outsideFrustum(const ShadedVertex *v)
+{
+    auto all = [&](auto pred) {
+        return pred(v[0].clip) && pred(v[1].clip) && pred(v[2].clip);
+    };
+    if (all([](const Vec4 &c) { return c.x < -c.w; }))
+        return true;
+    if (all([](const Vec4 &c) { return c.x > c.w; }))
+        return true;
+    if (all([](const Vec4 &c) { return c.y < -c.w; }))
+        return true;
+    if (all([](const Vec4 &c) { return c.y > c.w; }))
+        return true;
+    if (all([](const Vec4 &c) { return c.z > c.w; }))
+        return true; // beyond far
+    if (all([](const Vec4 &c) { return nearDist(c) <= 0.0f; }))
+        return true; // behind near
+    return false;
+}
+
+} // namespace
+
+void
+shadeVertices(const Mesh &mesh, const Mat4 &model, const Mat4 &view_proj,
+              const Mat4 &model_for_normals, std::vector<ShadedVertex> &out)
+{
+    out.clear();
+    out.reserve(mesh.verts.size());
+    Mat4 mvp = view_proj * model;
+    for (const Vertex &v : mesh.verts) {
+        ShadedVertex s;
+        s.clip = mvp * Vec4{v.pos, 1.0f};
+        s.world = model.transformPoint(v.pos);
+        s.normal = model_for_normals.transformDir(v.normal).normalized();
+        s.uv = v.uv;
+        out.push_back(s);
+    }
+}
+
+void
+assembleAndClip(const std::vector<ShadedVertex> &verts,
+                const std::vector<u32> &indices, std::vector<ClipTriangle> &out,
+                GeometryStats &stats)
+{
+    TEXPIM_ASSERT(indices.size() % 3 == 0, "index count not a multiple of 3");
+    stats.verticesShaded += verts.size();
+
+    for (size_t i = 0; i + 2 < indices.size(); i += 3) {
+        ShadedVertex tri[3] = {verts[indices[i]], verts[indices[i + 1]],
+                               verts[indices[i + 2]]};
+        ++stats.trianglesIn;
+
+        if (outsideFrustum(tri)) {
+            ++stats.trianglesRejected;
+            continue;
+        }
+
+        bool in0 = nearDist(tri[0].clip) > kNearEps;
+        bool in1 = nearDist(tri[1].clip) > kNearEps;
+        bool in2 = nearDist(tri[2].clip) > kNearEps;
+
+        if (in0 && in1 && in2) {
+            out.push_back({{tri[0], tri[1], tri[2]}});
+            ++stats.trianglesOut;
+            continue;
+        }
+
+        // Sutherland-Hodgman against the near plane.
+        ++stats.trianglesClipped;
+        ShadedVertex poly[4];
+        unsigned n = 0;
+        for (int e = 0; e < 3; ++e) {
+            const ShadedVertex &a = tri[e];
+            const ShadedVertex &b = tri[(e + 1) % 3];
+            float da = nearDist(a.clip);
+            float db = nearDist(b.clip);
+            bool ain = da > kNearEps;
+            bool bin = db > kNearEps;
+            if (ain)
+                poly[n++] = a;
+            if (ain != bin) {
+                float t = da / (da - db);
+                poly[n++] = lerpVertex(a, b, t);
+            }
+        }
+        if (n < 3)
+            continue; // fully clipped away
+        for (unsigned k = 1; k + 1 < n; ++k) {
+            out.push_back({{poly[0], poly[k], poly[k + 1]}});
+            ++stats.trianglesOut;
+        }
+    }
+}
+
+} // namespace texpim

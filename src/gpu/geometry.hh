@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Geometry processing stage: vertex shading (transform), primitive
+ * assembly and frustum/near-plane clipping — stage (1) of the paper's
+ * three-stage rendering pipeline (§II-A).
+ */
+
+#ifndef TEXPIM_GPU_GEOMETRY_HH
+#define TEXPIM_GPU_GEOMETRY_HH
+
+#include <vector>
+
+#include "geom/mat4.hh"
+#include "scene/mesh.hh"
+
+namespace texpim {
+
+/** A vertex after the vertex shader. */
+struct ShadedVertex
+{
+    Vec4 clip{};   //!< clip-space position
+    Vec3 world{};  //!< world-space position (for camera angles)
+    Vec3 normal{}; //!< world-space normal
+    Vec2 uv{};
+};
+
+/** An assembled, clipped triangle ready for setup. */
+struct ClipTriangle
+{
+    ShadedVertex v[3];
+};
+
+/** Counters out of the geometry stage. */
+struct GeometryStats
+{
+    u64 verticesShaded = 0;
+    u64 trianglesIn = 0;
+    u64 trianglesRejected = 0; //!< fully outside the frustum
+    u64 trianglesClipped = 0;  //!< crossed the near plane
+    u64 trianglesOut = 0;
+};
+
+/** Run the vertex shader over a mesh. */
+void shadeVertices(const Mesh &mesh, const Mat4 &model, const Mat4 &view_proj,
+                   const Mat4 &model_for_normals,
+                   std::vector<ShadedVertex> &out);
+
+/**
+ * Assemble indexed triangles and clip. Triangles entirely outside one
+ * frustum plane are rejected; triangles crossing the near plane are
+ * polygon-clipped (Sutherland-Hodgman) and re-triangulated.
+ */
+void assembleAndClip(const std::vector<ShadedVertex> &verts,
+                     const std::vector<u32> &indices,
+                     std::vector<ClipTriangle> &out, GeometryStats &stats);
+
+} // namespace texpim
+
+#endif // TEXPIM_GPU_GEOMETRY_HH

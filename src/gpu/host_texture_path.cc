@@ -1,0 +1,133 @@
+#include "gpu/host_texture_path.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+HostTexturePath::HostTexturePath(const GpuParams &params, MemorySystem &mem)
+    : TexturePath("tex_host"), params_(params), mem_(mem),
+      l2_("tex_l2", params.texL2), unit_free_(params.clusters, 0)
+{
+    l1_.reserve(params_.clusters);
+    for (unsigned c = 0; c < params_.clusters; ++c)
+        l1_.push_back(std::make_unique<TagCache>(
+            "tex_l1_" + std::to_string(c), params_.texL1));
+}
+
+TexResponse
+HostTexturePath::process(const TexRequest &req)
+{
+    TEXPIM_ASSERT(req.tex != nullptr, "texture request without texture");
+    TEXPIM_ASSERT(req.clusterId < params_.clusters, "bad cluster id");
+
+    // Functional filtering + the exact texel-fetch trace.
+    sampleConventional(*req.tex, req.coords, req.mode, req.maxAniso,
+                       scratch_);
+
+    unsigned texels = unsigned(scratch_.fetches.size());
+    // Each address ALU emits a 2x2 footprint per cycle and the filter
+    // tree keeps pace, so the pipelined unit consumes
+    // texUnitTexelsPerCycle texels per cycle end to end.
+    Cycle occupancy = std::max<Cycle>(
+        1, (texels + params_.texUnitTexelsPerCycle - 1) /
+               params_.texUnitTexelsPerCycle);
+    Cycle addr_gen = occupancy;
+    Cycle filter = occupancy;
+
+    // The per-cluster texture unit is pipelined; back-to-back requests
+    // are spaced by the widest stage.
+    Cycle start = std::max(req.issue, unit_free_[req.clusterId]);
+    unit_free_[req.clusterId] = start + occupancy;
+
+    Cycle t0 = start + addr_gen;
+
+    // Deduplicate texel fetches to cache lines (the fetch unit
+    // coalesces within one request).
+    TagCache &l1 = *l1_[req.clusterId];
+    lines_.clear();
+    for (const auto &f : scratch_.fetches)
+        lines_.push_back(l1.lineAddr(f.addr));
+    std::sort(lines_.begin(), lines_.end());
+    lines_.erase(std::unique(lines_.begin(), lines_.end()), lines_.end());
+
+    Cycle data_ready = t0 + params_.texL1HitLatency;
+    for (Addr line : lines_) {
+        if (l1.access(line) == CacheOutcome::Hit) {
+            ++stats_.counter("l1_hits");
+            continue;
+        }
+        ++stats_.counter("l1_misses");
+        Cycle l2_at = t0 + params_.texL1HitLatency;
+        if (l2_.access(line) == CacheOutcome::Hit) {
+            ++stats_.counter("l2_hits");
+            data_ready =
+                std::max(data_ready, l2_at + params_.texL2HitLatency);
+            continue;
+        }
+        ++stats_.counter("l2_misses");
+        Cycle mem_at = l2_at + params_.texL2HitLatency;
+        Cycle done = outstanding_.lookup(line, mem_at);
+        if (done == kNeverCycle) {
+            done = mem_.read(line, l1.lineBytes(), TrafficClass::Texture,
+                             mem_at);
+            outstanding_.insert(line, done);
+        } else {
+            ++stats_.counter("mshr_merges");
+        }
+        data_ready = std::max(data_ready, done);
+    }
+
+    Cycle complete = data_ready + filter;
+
+    stats_.counter("texels") += texels;
+    stats_.counter("lines") += lines_.size();
+    stats_.counter("addr_ops") += texels;
+    stats_.counter("filter_ops") += scratch_.filterOps;
+    stats_.counter("aniso_samples") += scratch_.anisoRatio;
+    // Optional request tracing (TEXPIM_TRACE_TEX=N dumps every Nth
+    // request's timing — see README "Debugging aids").
+    static long trace_every =
+        std::getenv("TEXPIM_TRACE_TEX")
+            ? std::atol(std::getenv("TEXPIM_TRACE_TEX"))
+            : 0;
+    static long trace_count = 0;
+    if (trace_every > 0 && ++trace_count % trace_every == 0) {
+        std::fprintf(stderr,
+                     "req#%ld c%u issue=%llu start=%llu t0=%llu ready=%llu "
+                     "complete=%llu texels=%u lines=%zu\n",
+                     trace_count, req.clusterId,
+                     (unsigned long long)req.issue,
+                     (unsigned long long)start, (unsigned long long)t0,
+                     (unsigned long long)data_ready,
+                     (unsigned long long)complete, texels, lines_.size());
+    }
+    stats_.average("lat_total").sample(double(complete - req.issue));
+    stats_.average("lat_unit_wait").sample(double(start - req.issue));
+    stats_.average("lat_mem").sample(double(data_ready - t0));
+    recordRequest(req.wanted ? req.wanted : req.issue, complete);
+
+    return {scratch_.color, complete};
+}
+
+void
+HostTexturePath::beginFrame()
+{
+    std::fill(unit_free_.begin(), unit_free_.end(), 0);
+    outstanding_.clear();
+}
+
+void
+HostTexturePath::resetStats()
+{
+    TexturePath::resetStats();
+    for (auto &c : l1_)
+        c->resetStats();
+    l2_.resetStats();
+    outstanding_.resetStats();
+}
+
+} // namespace texpim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Conventional on-chip texture filtering (baseline and B-PIM): the
+ * texture unit of each shader cluster filters locally, fetching texels
+ * through a private L1, a shared L2 and the off-chip memory system
+ * (GDDR5 for the baseline, HMC for B-PIM).
+ */
+
+#ifndef TEXPIM_GPU_HOST_TEXTURE_PATH_HH
+#define TEXPIM_GPU_HOST_TEXTURE_PATH_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/outstanding.hh"
+#include "cache/tag_cache.hh"
+#include "gpu/params.hh"
+#include "gpu/texture_path.hh"
+#include "mem/memory_system.hh"
+
+namespace texpim {
+
+class HostTexturePath : public TexturePath
+{
+  public:
+    HostTexturePath(const GpuParams &params, MemorySystem &mem);
+
+    TexResponse process(const TexRequest &req) override;
+
+    /** Frame boundary: rewind pipeline timing, keep cache contents. */
+    void beginFrame() override;
+
+    void resetStats() override;
+
+    const TagCache &l1(unsigned cluster) const { return *l1_[cluster]; }
+    const TagCache &l2() const { return l2_; }
+
+  private:
+    GpuParams params_;
+    MemorySystem &mem_;
+    std::vector<std::unique_ptr<TagCache>> l1_;
+    TagCache l2_;
+    OutstandingMisses outstanding_;
+    std::vector<Cycle> unit_free_; //!< per-cluster texture-unit pipeline
+    SampleResult scratch_;         //!< reused sampling buffers
+    std::vector<Addr> lines_;      //!< reused distinct-line buffer
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_GPU_HOST_TEXTURE_PATH_HH

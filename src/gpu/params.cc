@@ -1,0 +1,43 @@
+#include "gpu/params.hh"
+
+namespace texpim {
+
+GpuParams
+GpuParams::fromConfig(const Config &cfg)
+{
+    GpuParams p;
+    p.clusters = unsigned(cfg.getInt("gpu.clusters", p.clusters));
+    p.shadersPerCluster =
+        unsigned(cfg.getInt("gpu.shaders_per_cluster", p.shadersPerCluster));
+    p.tileSize = unsigned(cfg.getInt("gpu.tile_size", p.tileSize));
+    p.frequencyGHz = cfg.getDouble("gpu.frequency_ghz", p.frequencyGHz);
+    p.texAddressAlus =
+        unsigned(cfg.getInt("gpu.tex_address_alus", p.texAddressAlus));
+    p.texFilterAlus =
+        unsigned(cfg.getInt("gpu.tex_filter_alus", p.texFilterAlus));
+    p.texUnitTexelsPerCycle = unsigned(
+        cfg.getInt("gpu.tex_unit_texels_per_cycle", p.texUnitTexelsPerCycle));
+    p.texL1.sizeBytes = u64(cfg.getInt("gpu.tex_l1_bytes",
+                                       i64(p.texL1.sizeBytes)));
+    p.texL1.ways = unsigned(cfg.getInt("gpu.tex_l1_ways", p.texL1.ways));
+    p.texL2.sizeBytes = u64(cfg.getInt("gpu.tex_l2_bytes",
+                                       i64(p.texL2.sizeBytes)));
+    p.texL2.ways = unsigned(cfg.getInt("gpu.tex_l2_ways", p.texL2.ways));
+    p.texL1HitLatency =
+        Cycle(cfg.getInt("gpu.tex_l1_latency", i64(p.texL1HitLatency)));
+    p.texL2HitLatency =
+        Cycle(cfg.getInt("gpu.tex_l2_latency", i64(p.texL2HitLatency)));
+    p.maxInflightTexRequests = unsigned(
+        cfg.getInt("gpu.max_inflight_tex", p.maxInflightTexRequests));
+    p.vertexShaderCycles =
+        unsigned(cfg.getInt("gpu.vertex_cycles", p.vertexShaderCycles));
+    p.fragmentShaderCycles =
+        unsigned(cfg.getInt("gpu.fragment_cycles", p.fragmentShaderCycles));
+    p.fragmentPipelineCycles = unsigned(cfg.getInt(
+        "gpu.fragment_pipeline_cycles", p.fragmentPipelineCycles));
+    p.triangleSetupCycles =
+        unsigned(cfg.getInt("gpu.setup_cycles", p.triangleSetupCycles));
+    return p;
+}
+
+} // namespace texpim

@@ -1,0 +1,119 @@
+#include "gpu/raster.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace texpim {
+
+namespace {
+
+constexpr float kDegenerateArea = 1e-8f;
+
+float
+cross2(Vec2 a, Vec2 b)
+{
+    return a.x * b.y - a.y * b.x;
+}
+
+} // namespace
+
+bool
+setupTriangle(const ClipTriangle &tri, unsigned width, unsigned height,
+              u32 texture_id, SetupTriangle &out)
+{
+    for (int i = 0; i < 3; ++i) {
+        const ShadedVertex &v = tri.v[i];
+        float inv_w = 1.0f / v.clip.w;
+        float ndc_x = v.clip.x * inv_w;
+        float ndc_y = v.clip.y * inv_w;
+        float ndc_z = v.clip.z * inv_w;
+        out.s[i] = {(ndc_x + 1.0f) * 0.5f * float(width),
+                    (1.0f - ndc_y) * 0.5f * float(height)};
+        out.zndc[i] = ndc_z;
+        out.invW[i] = inv_w;
+        out.uvOverW[i] = v.uv * inv_w;
+        out.normalOverW[i] = v.normal * inv_w;
+        out.worldOverW[i] = v.world * inv_w;
+    }
+    out.textureId = texture_id;
+
+    out.area2 = cross2(out.s[1] - out.s[0], out.s[2] - out.s[0]);
+    if (std::fabs(out.area2) < kDegenerateArea)
+        return false;
+
+    float min_x = std::min({out.s[0].x, out.s[1].x, out.s[2].x});
+    float max_x = std::max({out.s[0].x, out.s[1].x, out.s[2].x});
+    float min_y = std::min({out.s[0].y, out.s[1].y, out.s[2].y});
+    float max_y = std::max({out.s[0].y, out.s[1].y, out.s[2].y});
+
+    out.minX = std::max(0, int(std::floor(min_x)));
+    out.minY = std::max(0, int(std::floor(min_y)));
+    out.maxX = std::min(int(width) - 1, int(std::ceil(max_x)));
+    out.maxY = std::min(int(height) - 1, int(std::ceil(max_y)));
+    return out.minX <= out.maxX && out.minY <= out.maxY;
+}
+
+bool
+evalPixel(const SetupTriangle &t, unsigned x, unsigned y, Vec3 eye,
+          Vec3 light_dir, FragmentSample &frag)
+{
+    Vec2 p{float(x) + 0.5f, float(y) + 0.5f};
+
+    float inv_area = 1.0f / t.area2;
+    float b0 = cross2(t.s[1] - p, t.s[2] - p) * inv_area;
+    float b1 = cross2(t.s[2] - p, t.s[0] - p) * inv_area;
+    float b2 = cross2(t.s[0] - p, t.s[1] - p) * inv_area;
+    if (b0 < 0.0f || b1 < 0.0f || b2 < 0.0f)
+        return false;
+
+    frag.depth = b0 * t.zndc[0] + b1 * t.zndc[1] + b2 * t.zndc[2];
+
+    float W = b0 * t.invW[0] + b1 * t.invW[1] + b2 * t.invW[2];
+    if (W <= 0.0f)
+        return false;
+    float w = 1.0f / W;
+
+    Vec2 U = t.uvOverW[0] * b0 + t.uvOverW[1] * b1 + t.uvOverW[2] * b2;
+    frag.uv = U * w;
+
+    Vec3 n = t.normalOverW[0] * b0 + t.normalOverW[1] * b1 +
+             t.normalOverW[2] * b2;
+    frag.normal = (n * w).normalized();
+
+    Vec3 wp = t.worldOverW[0] * b0 + t.worldOverW[1] * b1 +
+              t.worldOverW[2] * b2;
+    frag.world = wp * w;
+
+    // Barycentric screen gradients are constant per triangle:
+    //   b0(x, y) = ((s1.y - s2.y) x + (s2.x - s1.x) y + c) / area2
+    float db0dx = (t.s[1].y - t.s[2].y) * inv_area;
+    float db1dx = (t.s[2].y - t.s[0].y) * inv_area;
+    float db2dx = (t.s[0].y - t.s[1].y) * inv_area;
+    float db0dy = (t.s[2].x - t.s[1].x) * inv_area;
+    float db1dy = (t.s[0].x - t.s[2].x) * inv_area;
+    float db2dy = (t.s[1].x - t.s[0].x) * inv_area;
+
+    Vec2 dUdx = t.uvOverW[0] * db0dx + t.uvOverW[1] * db1dx +
+                t.uvOverW[2] * db2dx;
+    Vec2 dUdy = t.uvOverW[0] * db0dy + t.uvOverW[1] * db1dy +
+                t.uvOverW[2] * db2dy;
+    float dWdx = t.invW[0] * db0dx + t.invW[1] * db1dx + t.invW[2] * db2dx;
+    float dWdy = t.invW[0] * db0dy + t.invW[1] * db1dy + t.invW[2] * db2dy;
+
+    // d(U/W)/dx = (U'x - uv * W'x) / W, likewise for y.
+    frag.dUvDx = (dUdx - frag.uv * dWdx) * w;
+    frag.dUvDy = (dUdy - frag.uv * dWdy) * w;
+
+    // Camera angle: angle between the view ray and the surface normal;
+    // 0 = face-on, pi/2 = grazing (the anisotropic case).
+    Vec3 view = (eye - frag.world).normalized();
+    float cosi = std::fabs(view.dot(frag.normal));
+    frag.cameraAngle = std::acos(std::clamp(cosi, 0.0f, 1.0f));
+
+    // Two-sided N.L diffuse with an ambient floor.
+    float nl = std::fabs(frag.normal.dot(light_dir));
+    frag.diffuse = 0.35f + 0.65f * nl;
+    return true;
+}
+
+} // namespace texpim

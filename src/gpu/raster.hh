@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Triangle setup and per-pixel evaluation: edge functions, perspective-
+ * correct attribute interpolation, analytic uv screen-derivatives (for
+ * LOD/anisotropy) and per-fragment camera angles (§V-C).
+ */
+
+#ifndef TEXPIM_GPU_RASTER_HH
+#define TEXPIM_GPU_RASTER_HH
+
+#include "gpu/geometry.hh"
+
+namespace texpim {
+
+/** A triangle after viewport transform and setup. */
+struct SetupTriangle
+{
+    // Screen-space vertex positions (pixel units) and NDC depths.
+    Vec2 s[3];
+    float zndc[3];
+
+    // Perspective-correct interpolation sources (attribute / w).
+    float invW[3];
+    Vec2 uvOverW[3];
+    Vec3 normalOverW[3];
+    Vec3 worldOverW[3];
+
+    float area2 = 0.0f; //!< twice the signed screen-space area
+    u32 textureId = 0;
+
+    // Pixel-aligned bounding box, clamped to the viewport.
+    int minX = 0, minY = 0, maxX = -1, maxY = -1;
+
+    /** Conservative minimum NDC depth over the triangle. */
+    float
+    minDepth() const
+    {
+        float z = zndc[0];
+        if (zndc[1] < z)
+            z = zndc[1];
+        if (zndc[2] < z)
+            z = zndc[2];
+        return z;
+    }
+};
+
+/** Everything the fragment shader needs for one covered pixel. */
+struct FragmentSample
+{
+    float depth = 0.0f;       //!< NDC depth for the Z test
+    Vec2 uv{};                //!< perspective-correct texture coords
+    Vec2 dUvDx{}, dUvDy{};    //!< analytic screen derivatives of uv
+    Vec3 normal{};            //!< interpolated world normal
+    Vec3 world{};             //!< world position
+    float cameraAngle = 0.0f; //!< view/surface angle in radians
+    float diffuse = 1.0f;     //!< simple N.L shading term
+};
+
+/**
+ * Viewport-transform and set up a triangle.
+ * @return false if the triangle is degenerate (zero screen area) or
+ *         its bounding box misses the viewport entirely.
+ */
+bool setupTriangle(const ClipTriangle &tri, unsigned width, unsigned height,
+                   u32 texture_id, SetupTriangle &out);
+
+/**
+ * Evaluate coverage at pixel center (x+0.5, y+0.5).
+ * @return true and fills `frag` if the pixel is inside the triangle.
+ *
+ * Rendering is two-sided (no backface culling): the workload meshes
+ * are authored inward and outward facing, and closed geometry resolves
+ * by depth anyway — this only adds realistic overdraw.
+ */
+bool evalPixel(const SetupTriangle &t, unsigned x, unsigned y, Vec3 eye,
+               Vec3 light_dir, FragmentSample &frag);
+
+} // namespace texpim
+
+#endif // TEXPIM_GPU_RASTER_HH

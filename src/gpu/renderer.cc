@@ -1,0 +1,422 @@
+#include "gpu/renderer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+namespace {
+
+/** ROP Z/color caches (hidden inside the ROP in Fig. 1). */
+CacheParams
+ropCacheParams()
+{
+    CacheParams p;
+    p.sizeBytes = 8 * KiB;
+    p.ways = 8;
+    p.lineBytes = 64;
+    return p;
+}
+
+/** Simple fixed light for the N.L shading term. */
+const Vec3 kLightDir = Vec3{-0.35f, 0.85f, 0.4f}.normalized();
+
+/** Sliding window of outstanding texture requests per cluster. */
+class InflightWindow
+{
+  public:
+    explicit InflightWindow(unsigned depth) : slots_(depth, 0) {}
+
+    /** Earliest cycle a new request may issue (oldest slot free). */
+    Cycle oldest() const { return slots_[head_]; }
+
+    void
+    push(Cycle complete)
+    {
+        // Texture results retire to the fragment quads in order, so
+        // the sequence of retirement times is monotone; this also
+        // keeps oldest() monotone, which the issue logic relies on.
+        last_ = std::max(last_, complete);
+        slots_[head_] = last_;
+        head_ = (head_ + 1) % slots_.size();
+    }
+
+    /** Completion cycle of the latest request. */
+    Cycle last() const { return last_; }
+
+  private:
+    std::vector<Cycle> slots_;
+    size_t head_ = 0;
+    Cycle last_ = 0;
+};
+
+} // namespace
+
+Renderer::Renderer(const GpuParams &params, MemorySystem &mem,
+                   TexturePath &tex)
+    : params_(params), mem_(mem), tex_(tex),
+      z_cache_("rop_z", ropCacheParams()),
+      color_cache_("rop_color", ropCacheParams()), stats_("renderer")
+{
+    TEXPIM_ASSERT(params_.clusters > 0 && params_.shadersPerCluster > 0,
+                  "GPU needs clusters and shaders");
+}
+
+Cycle
+Renderer::geometryPhase(const Scene &scene, std::vector<SetupTriangle> &tris,
+                        FrameStats &fs)
+{
+    // Vertex and index fetch traffic, streamed in 512 B chunks.
+    Cycle mem_done = 0;
+    Addr cursor = kGeometryBase;
+    for (const auto &obj : scene.objects) {
+        u64 remaining = obj.mesh.fetchBytes();
+        while (remaining > 0) {
+            u64 chunk = std::min<u64>(remaining, 512);
+            mem_done = std::max(
+                mem_done, mem_.read(cursor, chunk, TrafficClass::Geometry, 0));
+            cursor += chunk;
+            remaining -= chunk;
+        }
+    }
+
+    Mat4 view = scene.camera.viewMatrix();
+    Mat4 proj = scene.camera.projMatrix(scene.settings.width,
+                                        scene.settings.height);
+    Mat4 view_proj = proj * view;
+
+    std::vector<ShadedVertex> shaded;
+    std::vector<ClipTriangle> clipped;
+    for (const auto &obj : scene.objects) {
+        shadeVertices(obj.mesh, obj.model, view_proj, obj.model, shaded);
+        clipped.clear();
+        assembleAndClip(shaded, obj.mesh.indices, clipped, fs.geom);
+        for (const auto &ct : clipped) {
+            SetupTriangle st;
+            if (setupTriangle(ct, scene.settings.width,
+                              scene.settings.height, obj.textureId, st)) {
+                tris.push_back(st);
+                ++fs.trianglesSetup;
+            }
+        }
+    }
+
+    u64 total_shaders = u64(params_.clusters) * params_.shadersPerCluster;
+    Cycle vertex_cycles =
+        (fs.geom.verticesShaded * params_.vertexShaderCycles +
+         total_shaders - 1) /
+        total_shaders;
+    Cycle setup_cycles =
+        (fs.trianglesSetup * params_.triangleSetupCycles + params_.clusters -
+         1) /
+        params_.clusters;
+
+    return std::max(mem_done, vertex_cycles + setup_cycles);
+}
+
+FrameStats
+Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
+{
+    TEXPIM_ASSERT(fb.width() == scene.settings.width &&
+                      fb.height() == scene.settings.height,
+                  "framebuffer does not match scene resolution");
+
+    FrameStats fs;
+    fb.clear();
+    z_cache_.invalidateAll();
+    color_cache_.invalidateAll();
+    tex_.beginFrame();
+    mem_.beginFrame();
+
+    std::vector<SetupTriangle> tris;
+    Cycle geom_end = geometryPhase(scene, tris, fs);
+    fs.geometryCycles = geom_end;
+
+    unsigned width = scene.settings.width;
+    unsigned height = scene.settings.height;
+    unsigned tile = params_.tileSize;
+    unsigned tiles_x = (width + tile - 1) / tile;
+    unsigned tiles_y = (height + tile - 1) / tile;
+
+    // Map texture id -> owning object's detail layer (triangles carry
+    // only the base texture id).
+    std::vector<i32> detail_of(scene.textures->count(), -1);
+    std::vector<float> detail_scale_of(scene.textures->count(), 1.0f);
+    for (const auto &obj : scene.objects) {
+        if (obj.detailTextureId >= 0) {
+            detail_of[obj.textureId] = obj.detailTextureId;
+            detail_scale_of[obj.textureId] = obj.detailUvScale;
+        }
+    }
+
+    // Bin triangles to tiles by bounding box.
+    std::vector<std::vector<u32>> bins(size_t(tiles_x) * tiles_y);
+    for (u32 t = 0; t < tris.size(); ++t) {
+        const SetupTriangle &st = tris[t];
+        unsigned tx0 = unsigned(st.minX) / tile;
+        unsigned tx1 = unsigned(st.maxX) / tile;
+        unsigned ty0 = unsigned(st.minY) / tile;
+        unsigned ty1 = unsigned(st.maxY) / tile;
+        for (unsigned ty = ty0; ty <= ty1; ++ty)
+            for (unsigned tx = tx0; tx <= tx1; ++tx)
+                bins[size_t(ty) * tiles_x + tx].push_back(t);
+    }
+
+    // Per-cluster timing state.
+    std::vector<Cycle> cluster_time(params_.clusters, geom_end);
+    std::vector<InflightWindow> windows(
+        params_.clusters, InflightWindow(params_.maxInflightTexRequests));
+
+    Vec3 eye = scene.camera.eye;
+    double angle_sum = 0.0;
+    u64 aniso_sum = 0;
+    Cycle rop_drain = 0;
+
+    // Tiles are assigned round-robin; processing always advances the
+    // cluster with the smallest local clock so that memory accesses
+    // reach the shared memory system in approximately global time
+    // order (the resource-reservation model needs that).
+    std::vector<std::vector<u32>> cluster_tiles(params_.clusters);
+    for (u32 ti = 0; ti < bins.size(); ++ti) {
+        if (!bins[ti].empty())
+            cluster_tiles[ti % params_.clusters].push_back(ti);
+    }
+    std::vector<size_t> next_tile(params_.clusters, 0);
+
+    while (true) {
+        unsigned cluster = params_.clusters;
+        Cycle best = kNeverCycle;
+        for (unsigned c = 0; c < params_.clusters; ++c) {
+            if (next_tile[c] >= cluster_tiles[c].size())
+                continue;
+            // The next texture request of cluster c will issue no
+            // earlier than its compute clock and no earlier than its
+            // in-flight window frees a slot — schedule on that horizon
+            // so memory sees accesses in near-global-time order.
+            Cycle horizon =
+                std::max(cluster_time[c], windows[c].oldest());
+            if (horizon < best) {
+                best = horizon;
+                cluster = c;
+            }
+        }
+        if (cluster == params_.clusters)
+            break;
+        u32 ti = cluster_tiles[cluster][next_tile[cluster]++];
+        auto &bin = bins[ti];
+        ++fs.tilesProcessed;
+        Cycle tile_start = cluster_time[cluster];
+
+        unsigned tx = ti % tiles_x;
+        unsigned ty = ti / tiles_x;
+        unsigned x0 = tx * tile;
+        unsigned y0 = ty * tile;
+        unsigned x1 = std::min(x0 + tile, width);
+        unsigned y1 = std::min(y0 + tile, height);
+        unsigned tile_pixels = (x1 - x0) * (y1 - y0);
+
+        // Front-to-back within the tile approximates the depth-sorted
+        // submission real engines use, letting early Z do its job.
+        std::sort(bin.begin(), bin.end(), [&](u32 a, u32 b) {
+            return tris[a].minDepth() < tris[b].minDepth();
+        });
+
+        unsigned covered_count = 0;
+        float tile_zmax = -1.0f;
+        std::vector<bool> covered(tile_pixels, false);
+
+        u64 shaded = 0, killed = 0;
+        u64 z_line_misses = 0, c_line_misses = 0;
+        Cycle alu_frontier = tile_start;
+        Cycle issue_frontier = tile_start;
+        // Per-fragment cluster occupancy: the fixed-function fragment
+        // pipeline (interpolation, shader issue, ROP slot) plus the
+        // shader ALU work spread over the cluster's shaders.
+        Cycle compute_per_frag = std::max<Cycle>(
+            params_.fragmentPipelineCycles,
+            (params_.fragmentShaderCycles + params_.shadersPerCluster - 1) /
+                params_.shadersPerCluster);
+        Cycle last_rop = tile_start;
+
+        FragmentSample frag;
+        for (u32 t_idx : bin) {
+            const SetupTriangle &st = tris[t_idx];
+
+            // Hierarchical Z: once the tile is fully covered, any
+            // triangle strictly behind the tile's max depth is skipped.
+            if (covered_count == tile_pixels && st.minDepth() > tile_zmax) {
+                ++fs.hierZTrianglesSkipped;
+                continue;
+            }
+
+            unsigned px0 = std::max(int(x0), st.minX);
+            unsigned px1 = std::min(int(x1) - 1, st.maxX);
+            unsigned py0 = std::max(int(y0), st.minY);
+            unsigned py1 = std::min(int(y1) - 1, st.maxY);
+
+            for (unsigned y = py0; y <= py1; ++y) {
+                for (unsigned x = px0; x <= px1; ++x) {
+                    if (!evalPixel(st, x, y, eye, kLightDir, frag))
+                        continue;
+                    ++fs.fragmentsCovered;
+
+                    // Early Z (before shading), through the Z cache.
+                    if (z_cache_.access(fb.depthAddr(x, y)) ==
+                        CacheOutcome::Miss)
+                        ++z_line_misses;
+                    if (frag.depth >= fb.depth(x, y)) {
+                        ++killed;
+                        continue;
+                    }
+
+                    // Shade: one texture sample modulated by N.L.
+                    ++shaded;
+                    angle_sum += frag.cameraAngle;
+
+                    TexRequest req;
+                    req.tex = &scene.textures->texture(st.textureId);
+                    req.coords.uv = frag.uv;
+                    req.coords.ddx = frag.dUvDx;
+                    req.coords.ddy = frag.dUvDy;
+                    req.coords.cameraAngle = frag.cameraAngle;
+                    req.mode = scene.settings.filterMode;
+                    req.maxAniso = scene.settings.maxAniso;
+                    req.clusterId = cluster;
+
+                    alu_frontier += compute_per_frag;
+                    req.wanted = alu_frontier;
+                    req.issue =
+                        std::max(alu_frontier, windows[cluster].oldest());
+                    issue_frontier = std::max(issue_frontier, req.issue);
+                    TexResponse resp = tex_.process(req);
+                    windows[cluster].push(resp.complete);
+
+                    LodInfo lod = computeLod(*req.tex, req.coords,
+                                             req.maxAniso);
+                    aniso_sum += lod.anisoRatio;
+
+                    ColorF texel = resp.color;
+                    i32 detail = detail_of[st.textureId];
+                    if (detail >= 0) {
+                        // Second layer: detail/lightmap modulate, the
+                        // classic 2x multiply.
+                        float s = detail_scale_of[st.textureId];
+                        TexRequest dreq = req;
+                        dreq.tex = &scene.textures->texture(u32(detail));
+                        dreq.coords.uv = frag.uv * s;
+                        dreq.coords.ddx = frag.dUvDx * s;
+                        dreq.coords.ddy = frag.dUvDy * s;
+                        dreq.wanted = alu_frontier;
+                        dreq.issue = std::max(alu_frontier,
+                                              windows[cluster].oldest());
+                        issue_frontier =
+                            std::max(issue_frontier, dreq.issue);
+                        TexResponse dresp = tex_.process(dreq);
+                        windows[cluster].push(dresp.complete);
+                        texel = (texel * dresp.color * 2.0f).clamped();
+                    }
+
+                    ColorF out = (texel * frag.diffuse).clamped();
+                    fb.setPixel(x, y, packColor(out));
+                    fb.setDepth(x, y, frag.depth);
+
+                    if (color_cache_.access(fb.colorAddr(x, y)) ==
+                        CacheOutcome::Miss)
+                        ++c_line_misses;
+
+                    unsigned local =
+                        (y - y0) * (x1 - x0) + (x - x0);
+                    if (!covered[local]) {
+                        covered[local] = true;
+                        ++covered_count;
+                    }
+                }
+            }
+
+            // Refresh the tile's max depth once fully covered.
+            if (covered_count == tile_pixels) {
+                tile_zmax = -1.0f;
+                for (unsigned y = y0; y < y1; ++y)
+                    for (unsigned x = x0; x < x1; ++x)
+                        tile_zmax = std::max(tile_zmax, fb.depth(x, y));
+            }
+        }
+
+        // ROP traffic for this tile: Z read-modify-write on Z-cache
+        // misses, color writeback on color-cache misses. The ROP
+        // buffers these asynchronously — they consume memory bandwidth
+        // and drain by end of frame, but do not stall the next tile.
+        for (u64 i = 0; i < z_line_misses; ++i) {
+            Addr a = fb.depthAddr(x0, y0) + i * 64;
+            last_rop = std::max(last_rop,
+                                mem_.read(a, 64, TrafficClass::ZTest,
+                                          tile_start));
+            mem_.write(a, 64, TrafficClass::ZTest, tile_start);
+        }
+        for (u64 i = 0; i < c_line_misses; ++i) {
+            Addr a = fb.colorAddr(x0, y0) + i * 64;
+            last_rop = std::max(last_rop,
+                                mem_.write(a, 64, TrafficClass::ColorBuffer,
+                                           tile_start));
+        }
+        rop_drain = std::max(rop_drain, last_rop);
+
+        // Early-Z-killed fragments still occupy the pipeline briefly.
+        Cycle kill_cycles =
+            (killed + params_.shadersPerCluster - 1) /
+            params_.shadersPerCluster;
+
+        fs.fragmentsShaded += shaded;
+        fs.fragmentsEarlyZKilled += killed;
+
+        // The in-flight texture window carries across tiles (multiple
+        // tiles of fragments are resident per cluster). The cluster
+        // clock advances to the later of its compute frontier and its
+        // texture-issue horizon, which keeps every memory stream
+        // (texture, ROP, geometry) on one coherent timeline; the frame
+        // drains outstanding responses and ROP writebacks at the end.
+        cluster_time[cluster] =
+            std::max(alu_frontier + kill_cycles, issue_frontier);
+    }
+
+    Cycle end_compute = geom_end;
+    Cycle end_windows = 0;
+    for (unsigned c = 0; c < params_.clusters; ++c) {
+        end_compute = std::max(end_compute, cluster_time[c]);
+        end_windows = std::max(end_windows, windows[c].last());
+    }
+    Cycle frame_end = std::max({end_compute, end_windows, rop_drain});
+    stats_.counter("end_compute") += end_compute;
+    stats_.counter("end_windows") += end_windows;
+    stats_.counter("end_rop") += rop_drain;
+
+    // Display scanout of the finished frame (frame-buffer read traffic;
+    // happens off the critical path of rendering the next frame).
+    u64 fb_bytes = u64(width) * height * 4;
+    for (u64 off = 0; off < fb_bytes; off += 4096) {
+        u64 chunk = std::min<u64>(4096, fb_bytes - off);
+        mem_.read(FrameBuffer::kColorBase + off, chunk,
+                  TrafficClass::FrameBuffer, frame_end);
+    }
+
+    fs.frameCycles = frame_end;
+    fs.texRequests = tex_.requests();
+    fs.texLatencySum = tex_.latencySum();
+    fs.avgCameraAngleRad =
+        fs.fragmentsShaded ? angle_sum / double(fs.fragmentsShaded) : 0.0;
+    fs.avgAnisoRatio =
+        fs.fragmentsShaded ? double(aniso_sum) / double(fs.fragmentsShaded)
+                           : 0.0;
+
+    stats_.counter("frames") += 1;
+    stats_.counter("fragments_shaded") += fs.fragmentsShaded;
+    stats_.counter("fragments_early_z_killed") += fs.fragmentsEarlyZKilled;
+    stats_.counter("triangles_setup") += fs.trianglesSetup;
+    stats_.counter("hier_z_skipped") += fs.hierZTrianglesSkipped;
+
+    return fs;
+}
+
+} // namespace texpim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The rendering pipeline: ties geometry processing, tile-based
+ * rasterization with hierarchical/early Z, fragment shading with
+ * texture filtering (through a pluggable TexturePath), and the ROP
+ * into one frame renderer with a shader-cluster timing model.
+ *
+ * Timing model (see DESIGN.md): 16 clusters process 16x16 fragment
+ * tiles round-robin. Within a cluster, fragment ALU work advances a
+ * compute frontier; texture requests issue along it and may overlap up
+ * to `maxInflightTexRequests` outstanding requests (the massive-
+ * multithreading latency tolerance of the unified shaders). A frame
+ * ends when every cluster has drained, including ROP writebacks.
+ */
+
+#ifndef TEXPIM_GPU_RENDERER_HH
+#define TEXPIM_GPU_RENDERER_HH
+
+#include <vector>
+
+#include "cache/tag_cache.hh"
+#include "gpu/framebuffer.hh"
+#include "gpu/geometry.hh"
+#include "gpu/params.hh"
+#include "gpu/raster.hh"
+#include "gpu/texture_path.hh"
+#include "mem/memory_system.hh"
+#include "scene/scene.hh"
+
+namespace texpim {
+
+/** Per-frame results: the quantities the paper's figures are built on. */
+struct FrameStats
+{
+    Cycle frameCycles = 0;    //!< total 3D-rendering time
+    Cycle geometryCycles = 0; //!< geometry-phase portion
+
+    u64 texRequests = 0;
+    u64 texLatencySum = 0; //!< texture-filtering cycles (see TexturePath)
+
+    u64 fragmentsCovered = 0;
+    u64 fragmentsShaded = 0;
+    u64 fragmentsEarlyZKilled = 0;
+    u64 trianglesSetup = 0;
+    u64 hierZTrianglesSkipped = 0;
+    u64 tilesProcessed = 0;
+
+    GeometryStats geom{};
+
+    double avgCameraAngleRad = 0.0;
+    double avgAnisoRatio = 0.0;
+};
+
+class Renderer
+{
+  public:
+    /**
+     * @param params GPU configuration (Table I)
+     * @param mem memory system shared by all pipeline traffic
+     * @param tex the texture-filtering path for the design under test
+     */
+    Renderer(const GpuParams &params, MemorySystem &mem, TexturePath &tex);
+
+    /** Render one frame functionally and temporally. */
+    FrameStats renderFrame(const Scene &scene, FrameBuffer &fb);
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    /** Geometry phase: traffic + vertex shading + clip. Returns the
+     *  cycle the phase drains and fills `tris`. */
+    Cycle geometryPhase(const Scene &scene,
+                        std::vector<SetupTriangle> &tris, FrameStats &fs);
+
+    GpuParams params_;
+    MemorySystem &mem_;
+    TexturePath &tex_;
+    TagCache z_cache_;
+    TagCache color_cache_;
+    StatGroup stats_;
+
+    static constexpr Addr kGeometryBase = 0x4000'0000;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_GPU_RENDERER_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The texture-filtering path abstraction.
+ *
+ * A TexturePath answers one texture request functionally (the filtered
+ * color) and temporally (the cycle the shader receives it). The four
+ * design points of the paper are four implementations / wirings:
+ *
+ *   Baseline  HostTexturePath over Gddr5Memory
+ *   B-PIM     HostTexturePath over HmcMemory (host-side access)
+ *   S-TFIM    StfimTexturePath: MTUs in the HMC logic layer (src/pim)
+ *   A-TFIM    AtfimTexturePath: anisotropic-first in the HMC (src/pim)
+ */
+
+#ifndef TEXPIM_GPU_TEXTURE_PATH_HH
+#define TEXPIM_GPU_TEXTURE_PATH_HH
+
+#include "common/stats.hh"
+#include "tex/sampler.hh"
+
+namespace texpim {
+
+/** One texture request from a unified shader. */
+struct TexRequest
+{
+    const Texture *tex = nullptr;
+    SampleCoords coords{};
+    FilterMode mode = FilterMode::Trilinear;
+    unsigned maxAniso = 16;
+    unsigned clusterId = 0;
+
+    /** Cycle the request actually enters the texture path (after
+     *  flow control on in-flight requests). */
+    Cycle issue = 0;
+
+    /**
+     * Cycle the shader *produced* the request. The paper counts
+     * texture-filtering latency "from the time when a shader sends
+     * out the texel fetching request" (§VII-A), which includes any
+     * wait for a texture-path slot — so latency statistics measure
+     * from here.
+     */
+    Cycle wanted = 0;
+};
+
+/** The filtered texture sample handed back to the shader. */
+struct TexResponse
+{
+    ColorF color{};
+    Cycle complete = 0;
+};
+
+class TexturePath
+{
+  public:
+    explicit TexturePath(std::string name) : stats_(std::move(name)) {}
+    virtual ~TexturePath() = default;
+
+    TexturePath(const TexturePath &) = delete;
+    TexturePath &operator=(const TexturePath &) = delete;
+
+    virtual TexResponse process(const TexRequest &req) = 0;
+
+    /** Prepare for a new frame (reset transient state, keep caches). */
+    virtual void beginFrame() {}
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    u64 requests() const { return requests_; }
+
+    /** Sum over requests of (complete - issue): the paper's texture
+     *  filtering latency (from texel-fetch request to final texture
+     *  output, §VII-A). Speedups compare these sums. */
+    u64 latencySum() const { return latency_sum_; }
+
+    virtual void
+    resetStats()
+    {
+        stats_.resetAll();
+        requests_ = 0;
+        latency_sum_ = 0;
+    }
+
+  protected:
+    void
+    recordRequest(Cycle issue, Cycle complete)
+    {
+        ++requests_;
+        latency_sum_ += complete - issue;
+    }
+
+    StatGroup stats_;
+
+  private:
+    u64 requests_ = 0;
+    u64 latency_sum_ = 0;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_GPU_TEXTURE_PATH_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Single DRAM bank with an open-page row-buffer policy on top of an
+ * order-tolerant occupancy model.
+ *
+ * Timing parameters are expressed in GPU core cycles (Table I: GPU at
+ * 1 GHz, memory at 1.25 GHz; the defaults below are DRAM-clock numbers
+ * already scaled to core cycles). Column accesses are pipelined: a
+ * row hit occupies the bank for tBurst while its data appears tCL
+ * later, which is what lets a real bank stream an open row at burst
+ * rate.
+ *
+ * Accesses arriving in order get the full row-buffer policy. A
+ * late-timestamped access (the renderer's clusters drift by a tile's
+ * worth of cycles) is served out of the bank's idle-gap credit with
+ * conservative closed-row timing and does not disturb row state — see
+ * GapResource for why.
+ */
+
+#ifndef TEXPIM_MEM_DRAM_BANK_HH
+#define TEXPIM_MEM_DRAM_BANK_HH
+
+#include <algorithm>
+
+#include "common/types.hh"
+#include "mem/gap_resource.hh"
+
+namespace texpim {
+
+/** Core-cycle DRAM timing parameters. */
+struct DramTiming
+{
+    Cycle tRCD = 12; //!< activate to read/write
+    Cycle tCL = 12;  //!< read command to first data
+    Cycle tRP = 12;  //!< precharge
+    Cycle tRAS = 28; //!< activate to precharge minimum
+    Cycle tBurst = 4; //!< data burst occupancy per access
+    u64 rowBytes = 2048; //!< bytes per DRAM row (page)
+};
+
+/** Outcome of one bank access, for statistics. */
+enum class RowBufferOutcome : u8 { Hit, Miss, Conflict };
+
+class DramBank
+{
+  public:
+    explicit DramBank(const DramTiming &timing) : timing_(timing) {}
+
+    /**
+     * Perform one access to `row` arriving at `now`.
+     *
+     * @param row global row index within this bank
+     * @param now arrival time in core cycles
+     * @param outcome (out) row-buffer outcome for stats
+     * @return cycle at which the data burst completes
+     */
+    Cycle
+    access(u64 row, Cycle now, RowBufferOutcome &outcome)
+    {
+        double t = double(now);
+        Cycle extra_latency; //!< beyond burst: CAS / RAS-to-CAS path
+        Cycle occupancy;
+
+        if (svc_.inOrder(t)) {
+            if (row_open_ && open_row_ == row) {
+                outcome = RowBufferOutcome::Hit;
+                extra_latency = timing_.tCL;
+                occupancy = timing_.tBurst;
+            } else if (row_open_) {
+                outcome = RowBufferOutcome::Conflict;
+                // Respect tRAS before the implicit precharge.
+                Cycle ras_wait =
+                    activate_at_ + timing_.tRAS > now
+                        ? activate_at_ + timing_.tRAS - now
+                        : 0;
+                extra_latency =
+                    ras_wait + timing_.tRP + timing_.tRCD + timing_.tCL;
+                occupancy = ras_wait + timing_.tRP + timing_.tRCD +
+                            timing_.tBurst;
+            } else {
+                outcome = RowBufferOutcome::Miss;
+                extra_latency = timing_.tRCD + timing_.tCL;
+                occupancy = timing_.tRCD + timing_.tBurst;
+            }
+            double start = svc_.reserve(t, double(occupancy));
+            if (outcome != RowBufferOutcome::Hit)
+                activate_at_ = Cycle(start);
+            row_open_ = true;
+            open_row_ = row;
+            return Cycle(start) + extra_latency + timing_.tBurst;
+        }
+
+        // Late arrival: conservative closed-row timing from idle
+        // credit (or the backlog), leaving row state alone.
+        outcome = RowBufferOutcome::Miss;
+        extra_latency = timing_.tRCD + timing_.tCL;
+        occupancy = timing_.tRCD + timing_.tBurst;
+        double start = svc_.reserve(t, double(occupancy));
+        return Cycle(start) + extra_latency + timing_.tBurst;
+    }
+
+    /** Close the open row (e.g. refresh boundary in tests). */
+    void
+    prechargeAll()
+    {
+        row_open_ = false;
+    }
+
+    /** Rewind timing to cycle 0 (frame boundary); row state persists. */
+    void
+    resetTiming()
+    {
+        svc_.reset();
+        activate_at_ = 0;
+    }
+
+    bool rowOpen() const { return row_open_; }
+    u64 openRow() const { return open_row_; }
+    Cycle busyUntil() const { return Cycle(svc_.horizon()); }
+
+  private:
+    DramTiming timing_;
+    GapResource svc_;
+    bool row_open_ = false;
+    u64 open_row_ = 0;
+    Cycle activate_at_ = 0;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_MEM_DRAM_BANK_HH

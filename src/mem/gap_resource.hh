@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Order-tolerant serialized-resource reservation.
+ *
+ * The renderer's clusters advance on slightly different clocks, so
+ * memory accesses reach a shared resource with timestamps that are
+ * only approximately sorted. A plain `start = max(now, busyUntil)`
+ * reservation punishes a late-arriving access that carries an early
+ * timestamp with the full backlog of the future — phantom queueing
+ * that can dominate simulated time.
+ *
+ * GapResource fixes this while conserving bandwidth exactly: it
+ * remembers how much idle time accumulated below its horizon, and a
+ * late-timestamped access may be served out of that idle credit (it
+ * would have fit into a real gap). Only when the credit is exhausted
+ * does it queue at the horizon like everyone else. Total service
+ * charged can never exceed elapsed time, so throughput limits hold.
+ */
+
+#ifndef TEXPIM_MEM_GAP_RESOURCE_HH
+#define TEXPIM_MEM_GAP_RESOURCE_HH
+
+#include "common/types.hh"
+
+namespace texpim {
+
+class GapResource
+{
+  public:
+    /**
+     * Reserve `service` cycles starting no earlier than `now`.
+     * @return the cycle service *begins* (completion = start + service)
+     */
+    double
+    reserve(double now, double service)
+    {
+        if (now >= busy_until_) {
+            // In-order arrival: bank the idle gap, serve immediately.
+            idle_credit_ += now - busy_until_;
+            busy_until_ = now + service;
+            return now;
+        }
+        if (idle_credit_ >= service) {
+            // Late arrival that fits into past idle time.
+            idle_credit_ -= service;
+            return now;
+        }
+        // Genuine backlog: queue at the horizon.
+        double start = busy_until_;
+        busy_until_ += service;
+        return start;
+    }
+
+    /** True if an access at `now` would be an in-order arrival. */
+    bool inOrder(double now) const { return now >= busy_until_; }
+
+    double horizon() const { return busy_until_; }
+    double idleCredit() const { return idle_credit_; }
+
+    void
+    reset()
+    {
+        busy_until_ = 0.0;
+        idle_credit_ = 0.0;
+    }
+
+  private:
+    double busy_until_ = 0.0;
+    double idle_credit_ = 0.0;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_MEM_GAP_RESOURCE_HH

@@ -1,0 +1,233 @@
+#include "mem/hmc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace texpim {
+
+namespace {
+
+/** Reserve `bytes` on an order-tolerant bandwidth resource; returns
+ *  the finish time. */
+double
+reserveBandwidth(GapResource &res, double start, u64 bytes,
+                 double bytes_per_cyc)
+{
+    double service = double(bytes) / bytes_per_cyc;
+    return res.reserve(start, service) + service;
+}
+
+} // namespace
+
+HmcParams
+HmcParams::fromConfig(const Config &cfg)
+{
+    HmcParams p;
+    p.vaults = unsigned(cfg.getInt("hmc.vaults", p.vaults));
+    p.banksPerVault =
+        unsigned(cfg.getInt("hmc.banks_per_vault", p.banksPerVault));
+    p.externalBandwidthGBs =
+        cfg.getDouble("hmc.external_bandwidth_gbs", p.externalBandwidthGBs);
+    p.internalBandwidthGBs =
+        cfg.getDouble("hmc.internal_bandwidth_gbs", p.internalBandwidthGBs);
+    p.linkLatency = Cycle(cfg.getInt("hmc.link_latency", i64(p.linkLatency)));
+    p.switchLatency =
+        Cycle(cfg.getInt("hmc.switch_latency", i64(p.switchLatency)));
+    p.tsvLatency = Cycle(cfg.getInt("hmc.tsv_latency", i64(p.tsvLatency)));
+    p.vaultCommandLatency = Cycle(
+        cfg.getInt("hmc.vault_command_latency", i64(p.vaultCommandLatency)));
+    p.requestPacketBytes =
+        u64(cfg.getInt("hmc.request_packet_bytes", i64(p.requestPacketBytes)));
+    p.responseHeaderBytes = u64(
+        cfg.getInt("hmc.response_header_bytes", i64(p.responseHeaderBytes)));
+    p.cubes = unsigned(cfg.getInt("hmc.cubes", p.cubes));
+    return p;
+}
+
+HmcMemory::HmcMemory(const HmcParams &params)
+    : MemorySystem("hmc"), params_(params)
+{
+    TEXPIM_ASSERT(params_.vaults > 0, "need at least one vault");
+    TEXPIM_ASSERT(params_.banksPerVault > 0, "need at least one bank");
+    TEXPIM_ASSERT(params_.cubes > 0, "need at least one cube");
+
+    // Full-duplex links: half the aggregate external bandwidth each way.
+    double ext = gbpsToBytesPerCycle(params_.externalBandwidthGBs);
+    tx_bw_ = ext / 2.0;
+    rx_bw_ = ext / 2.0;
+    internal_bw_ = gbpsToBytesPerCycle(params_.internalBandwidthGBs);
+    vault_bw_ = internal_bw_ / double(params_.vaults);
+
+    cubes_.resize(params_.cubes);
+    for (auto &cube : cubes_) {
+        cube.vaults.reserve(params_.vaults);
+        for (unsigned v = 0; v < params_.vaults; ++v) {
+            Vault vault;
+            vault.banks.assign(params_.banksPerVault,
+                               DramBank(params_.timing));
+            cube.vaults.push_back(std::move(vault));
+        }
+    }
+}
+
+unsigned
+HmcMemory::cubeOf(Addr addr) const
+{
+    if (params_.cubes == 1)
+        return 0;
+    u64 granule = addr >> 20; // 1 MiB cube interleave
+    u64 fold = granule ^ (granule >> 5);
+    return unsigned(fold % params_.cubes);
+}
+
+Cycle
+HmcMemory::vaultAccess(Addr addr, u64 bytes, Cycle start,
+                       RowBufferOutcome &outcome)
+{
+    Cube &cube = cubes_[cubeOf(addr)];
+
+    // 256 B vault interleave with the same XOR fold as the GDDR5
+    // channel map (power-of-two stride robustness).
+    constexpr u64 interleave = 256;
+    u64 granule = addr / interleave;
+    u64 fold = granule ^ (granule >> 7) ^ (granule >> 13);
+    unsigned vidx = unsigned(fold % params_.vaults);
+    auto &vault = cube.vaults[vidx];
+
+    // Same fine bank interleave as the GDDR5 map (see gddr5.cc).
+    u64 above = granule / params_.vaults;
+    unsigned bank_idx =
+        unsigned((above ^ (above >> 3)) % params_.banksPerVault);
+    u64 per_bank = above / params_.banksPerVault;
+    u64 cols_per_row = params_.timing.rowBytes / interleave;
+    u64 row = per_bank / cols_per_row;
+
+    Cycle bank_start =
+        start + params_.switchLatency + params_.vaultCommandLatency +
+        params_.tsvLatency;
+    Cycle data_ready = vault.banks[bank_idx].access(row, bank_start, outcome);
+
+    // TSV bundle (vault data bus) serialization, then the aggregate
+    // internal-bandwidth ceiling of the cube.
+    double tsv_done =
+        reserveBandwidth(vault.bus, double(data_ready), bytes, vault_bw_);
+    double agg_done =
+        reserveBandwidth(cube.internalAgg, tsv_done, bytes, internal_bw_);
+
+    return Cycle(std::ceil(agg_done)) + params_.tsvLatency +
+           params_.switchLatency;
+}
+
+void
+HmcMemory::beginFrame()
+{
+    for (auto &cube : cubes_) {
+        cube.txLink.reset();
+        cube.rxLink.reset();
+        cube.internalAgg.reset();
+        for (auto &v : cube.vaults) {
+            v.bus.reset();
+            for (auto &b : v.banks)
+                b.resetTiming();
+        }
+    }
+}
+
+Cycle
+HmcMemory::access(const MemRequest &req)
+{
+    TEXPIM_ASSERT(req.bytes > 0, "zero-byte memory access");
+
+    bool is_read = req.op == MemOp::Read;
+    Cube &cube = cubes_[cubeOf(req.addr)];
+
+    // Request packet over the transmit link: header only for reads,
+    // header + payload for writes.
+    u64 tx_bytes = params_.requestPacketBytes + (is_read ? 0 : req.bytes);
+    double tx_done =
+        reserveBandwidth(cube.txLink, double(req.issue), tx_bytes, tx_bw_);
+    Cycle at_cube = Cycle(std::ceil(tx_done)) + params_.linkLatency;
+
+    RowBufferOutcome outcome;
+    Cycle vault_done = vaultAccess(req.addr, req.bytes, at_cube, outcome);
+
+    // Response packet over the receive link: header + data for reads,
+    // header-only acknowledge for writes.
+    u64 rx_bytes = params_.responseHeaderBytes + (is_read ? req.bytes : 0);
+    double rx_done =
+        reserveBandwidth(cube.rxLink, double(vault_done), rx_bytes, rx_bw_);
+    Cycle done = Cycle(std::ceil(rx_done)) + params_.linkLatency;
+
+    // Traffic meters count payload bytes (the paper's Fig. 12 counts
+    // B-PIM texture traffic equal to the baseline's); packet headers
+    // cost link time above but are not "texture bytes". Explicit PIM
+    // packages (hostToDevice/deviceToHost) count in full instead.
+    countOffChip(req.cls, req.bytes);
+    internal_.add(req.cls, req.bytes);
+    ++stats_.counter(is_read ? "reads" : "writes");
+    switch (outcome) {
+      case RowBufferOutcome::Hit:
+        ++stats_.counter("row_hits");
+        break;
+      case RowBufferOutcome::Miss:
+        ++stats_.counter("row_misses");
+        break;
+      case RowBufferOutcome::Conflict:
+        ++stats_.counter("row_conflicts");
+        break;
+    }
+    stats_.average("latency").sample(double(done - req.issue));
+
+    return done;
+}
+
+Cycle
+HmcMemory::internalAccess(const MemRequest &req)
+{
+    TEXPIM_ASSERT(req.bytes > 0, "zero-byte internal access");
+
+    RowBufferOutcome outcome;
+    Cycle done = vaultAccess(req.addr, req.bytes, req.issue, outcome);
+
+    internal_.add(req.cls, req.bytes);
+    ++stats_.counter(req.op == MemOp::Read ? "internal_reads"
+                                           : "internal_writes");
+    stats_.average("internal_latency").sample(double(done - req.issue));
+    return done;
+}
+
+Cycle
+HmcMemory::hostToDevice(u64 bytes, TrafficClass cls, Cycle now,
+                        Addr route_addr)
+{
+    TEXPIM_ASSERT(bytes > 0, "zero-byte package");
+    Cube &cube = cubes_[cubeOf(route_addr)];
+    double done = reserveBandwidth(cube.txLink, double(now), bytes, tx_bw_);
+    countOffChip(cls, bytes);
+    ++stats_.counter("packages_to_device");
+    return Cycle(std::ceil(done)) + params_.linkLatency;
+}
+
+Cycle
+HmcMemory::deviceToHost(u64 bytes, TrafficClass cls, Cycle now,
+                        Addr route_addr)
+{
+    TEXPIM_ASSERT(bytes > 0, "zero-byte package");
+    Cube &cube = cubes_[cubeOf(route_addr)];
+    double done = reserveBandwidth(cube.rxLink, double(now), bytes, rx_bw_);
+    countOffChip(cls, bytes);
+    ++stats_.counter("packages_to_host");
+    return Cycle(std::ceil(done)) + params_.linkLatency;
+}
+
+void
+HmcMemory::resetStats()
+{
+    MemorySystem::resetStats();
+    internal_.reset();
+}
+
+} // namespace texpim

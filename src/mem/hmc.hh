@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Hybrid Memory Cube model (HMC 2.0 parameters from the paper, §III and
+ * Table I): 32 vaults x 8 banks, 1-cycle TSV, full-duplex serial links
+ * with 320 GB/s aggregate external bandwidth, and 512 GB/s internal
+ * bandwidth through the vault/TSV structure.
+ *
+ * Two access paths are exposed:
+ *  - host accesses cross the external links (request packet out,
+ *    response packet back), the crossbar switch and a vault;
+ *  - internal accesses, issued by logic-layer PIM units, skip the links
+ *    entirely and only pay switch + TSV + bank time. This difference is
+ *    exactly what the paper's TFIM designs exploit.
+ */
+
+#ifndef TEXPIM_MEM_HMC_HH
+#define TEXPIM_MEM_HMC_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/dram_bank.hh"
+#include "mem/gap_resource.hh"
+#include "mem/memory_system.hh"
+
+namespace texpim {
+
+struct HmcParams
+{
+    unsigned vaults = 32;         //!< Table I, per cube
+    unsigned banksPerVault = 8;   //!< Table I
+    double externalBandwidthGBs = 320.0; //!< HMC 2.0 peak external, per cube
+    double internalBandwidthGBs = 512.0; //!< HMC 2.0 peak internal, per cube
+
+    /**
+     * Cubes attached to the GPU (§V-E discusses the multi-HMC case:
+     * a parent-texel fetch package maps to a single HMC because the
+     * parents and their children live in the same texture). Addresses
+     * interleave across cubes on 1 MiB granules, so a mip region and
+     * its neighborhood stay within one cube; packages route to the
+     * cube of their first parent texel.
+     */
+    unsigned cubes = 1;
+    Cycle linkLatency = 8;    //!< serdes + flight, each direction
+    Cycle switchLatency = 2;  //!< logic-layer crossbar
+    Cycle tsvLatency = 1;     //!< Table I, from CACTI-3DD
+    Cycle vaultCommandLatency = 30; //!< vault controller queue + command
+    u64 requestPacketBytes = 16;  //!< read/write request header+tail
+    u64 responseHeaderBytes = 16; //!< response packet header+tail
+    DramTiming timing{};
+
+    static HmcParams fromConfig(const Config &cfg);
+};
+
+class HmcMemory : public MemorySystem
+{
+  public:
+    explicit HmcMemory(const HmcParams &params);
+
+    /** Host-side access over the external links. */
+    Cycle access(const MemRequest &req) override;
+
+    void beginFrame() override;
+
+    /**
+     * Access issued by a PIM unit on the logic layer: pays switch, TSV
+     * and bank time but never touches the external links.
+     */
+    Cycle internalAccess(const MemRequest &req);
+
+    /**
+     * Ship an opaque package of `bytes` from host to the logic layer
+     * (PIM offload). Charged on the transmit link of the cube owning
+     * `route_addr` (§V-E: a package maps to a single HMC) and counted
+     * as off-chip package traffic.
+     * @return arrival cycle at that cube's logic layer
+     */
+    Cycle hostToDevice(u64 bytes, TrafficClass cls, Cycle now,
+                       Addr route_addr = 0);
+
+    /** Ship a package from the logic layer back to the host. */
+    Cycle deviceToHost(u64 bytes, TrafficClass cls, Cycle now,
+                       Addr route_addr = 0);
+
+    /** Internal (in-cube) traffic meter, for reports. */
+    const TrafficMeter &internalTraffic() const { return internal_; }
+
+    double
+    peakOffChipBytesPerCycle() const override
+    {
+        // Full-duplex: half the aggregate each direction, per cube.
+        return (tx_bw_ + rx_bw_) * double(params_.cubes);
+    }
+
+    const HmcParams &params() const { return params_; }
+
+    void resetStats() override;
+
+  private:
+    struct Vault
+    {
+        std::vector<DramBank> banks;
+        GapResource bus; //!< TSV bundle occupancy
+    };
+
+    struct Cube
+    {
+        std::vector<Vault> vaults;
+        GapResource txLink;
+        GapResource rxLink;
+        GapResource internalAgg; //!< cube-wide internal-bandwidth cap
+    };
+
+    /** Which cube owns an address (1 MiB interleave). */
+    unsigned cubeOf(Addr addr) const;
+
+    /** Route an access through switch + vault; returns data-ready cycle. */
+    Cycle vaultAccess(Addr addr, u64 bytes, Cycle start,
+                      RowBufferOutcome &outcome);
+
+    HmcParams params_;
+    double tx_bw_; //!< bytes per cycle host->cube
+    double rx_bw_; //!< bytes per cycle cube->host
+    double internal_bw_; //!< aggregate bytes per cycle inside one cube
+    double vault_bw_;    //!< bytes per cycle per vault (TSV bundle)
+
+    std::vector<Cube> cubes_;
+    TrafficMeter internal_;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_MEM_HMC_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Abstract memory-system interface shared by the GDDR5 and HMC models.
+ *
+ * The timing model is resource-reservation based: an access arriving at
+ * cycle `now` returns the cycle its data is available at the requester,
+ * and advances the internal bus / bank reservations it used. Requests
+ * are expected to arrive in approximately non-decreasing time order
+ * within a frame phase (the renderer guarantees this), which keeps the
+ * reservations meaningful.
+ */
+
+#ifndef TEXPIM_MEM_MEMORY_SYSTEM_HH
+#define TEXPIM_MEM_MEMORY_SYSTEM_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "mem/request.hh"
+
+namespace texpim {
+
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(std::string name) : stats_(std::move(name)) {}
+    virtual ~MemorySystem() = default;
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /**
+     * Perform one transaction.
+     * @return the cycle the transaction completes at the requester
+     *         (data returned for reads, globally visible for writes).
+     */
+    virtual Cycle access(const MemRequest &req) = 0;
+
+    Cycle
+    read(Addr addr, u64 bytes, TrafficClass cls, Cycle now)
+    {
+        return access({addr, bytes, MemOp::Read, cls, now});
+    }
+
+    Cycle
+    write(Addr addr, u64 bytes, TrafficClass cls, Cycle now)
+    {
+        return access({addr, bytes, MemOp::Write, cls, now});
+    }
+
+    /**
+     * Start a new frame: rewind the timing reservations to cycle 0
+     * (each frame's clock starts fresh) while keeping functional state
+     * such as open rows. Traffic meters are reset separately via
+     * resetStats() so callers control per-frame accounting.
+     */
+    virtual void beginFrame() = 0;
+
+    /** Off-chip traffic (between host GPU and the memory device). */
+    const TrafficMeter &offChipTraffic() const { return off_chip_; }
+
+    /** Peak off-chip bandwidth in bytes per core cycle (for reports). */
+    virtual double peakOffChipBytesPerCycle() const = 0;
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    virtual void resetStats() { off_chip_.reset(); stats_.resetAll(); }
+
+  protected:
+    void
+    countOffChip(TrafficClass cls, u64 bytes)
+    {
+        off_chip_.add(cls, bytes);
+    }
+
+    StatGroup stats_;
+
+  private:
+    TrafficMeter off_chip_;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_MEM_MEMORY_SYSTEM_HH

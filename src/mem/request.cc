@@ -1,0 +1,28 @@
+#include "mem/request.hh"
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+const char *
+trafficClassName(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::Texture:
+        return "texture";
+      case TrafficClass::FrameBuffer:
+        return "framebuffer";
+      case TrafficClass::Geometry:
+        return "geometry";
+      case TrafficClass::ZTest:
+        return "ztest";
+      case TrafficClass::ColorBuffer:
+        return "colorbuffer";
+      case TrafficClass::PimPackage:
+        return "pim_package";
+      default:
+        TEXPIM_PANIC("bad traffic class ", int(c));
+    }
+}
+
+} // namespace texpim

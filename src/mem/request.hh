@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Memory request descriptors and traffic classification.
+ *
+ * Traffic classes follow Fig. 2 of the paper (texture fetches, frame
+ * buffer, geometry, Z-test, color buffer) plus a class for PIM offload
+ * packages, which the paper's Fig. 12 counts as texture traffic.
+ */
+
+#ifndef TEXPIM_MEM_REQUEST_HH
+#define TEXPIM_MEM_REQUEST_HH
+
+#include <array>
+#include <string>
+
+#include "common/types.hh"
+
+namespace texpim {
+
+enum class MemOp : u8 { Read, Write };
+
+enum class TrafficClass : u8 {
+    Texture,     //!< texel fetches during texture filtering
+    FrameBuffer, //!< final framebuffer updates
+    Geometry,    //!< vertex / index fetches
+    ZTest,       //!< depth buffer reads / writes
+    ColorBuffer, //!< ROP color read-modify-write traffic
+    PimPackage,  //!< S-TFIM / A-TFIM offload + response packages
+    NumClasses,
+};
+
+inline constexpr unsigned kNumTrafficClasses =
+    unsigned(TrafficClass::NumClasses);
+
+/** Short printable name for a traffic class. */
+const char *trafficClassName(TrafficClass c);
+
+/** Per-class byte accounting. */
+class TrafficMeter
+{
+  public:
+    void
+    add(TrafficClass c, u64 bytes)
+    {
+        bytes_[unsigned(c)] += bytes;
+    }
+
+    u64 bytes(TrafficClass c) const { return bytes_[unsigned(c)]; }
+
+    u64
+    totalBytes() const
+    {
+        u64 t = 0;
+        for (u64 b : bytes_)
+            t += b;
+        return t;
+    }
+
+    /** Texture-related traffic as the paper counts it in Fig. 12:
+     *  texel fetches plus PIM packages. */
+    u64
+    textureBytes() const
+    {
+        return bytes(TrafficClass::Texture) + bytes(TrafficClass::PimPackage);
+    }
+
+    void reset() { bytes_.fill(0); }
+
+  private:
+    std::array<u64, kNumTrafficClasses> bytes_{};
+};
+
+/** One memory transaction presented to a MemorySystem. */
+struct MemRequest
+{
+    Addr addr = 0;
+    u64 bytes = 0;
+    MemOp op = MemOp::Read;
+    TrafficClass cls = TrafficClass::Texture;
+    Cycle issue = 0; //!< cycle the requester hands the request over
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_MEM_REQUEST_HH

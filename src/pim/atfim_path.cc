@@ -1,0 +1,264 @@
+#include "pim/atfim_path.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+AtfimTexturePath::AtfimTexturePath(const GpuParams &gpu,
+                                   const AtfimParams &atfim,
+                                   const PimPacketParams &pkts,
+                                   HmcMemory &hmc)
+    : TexturePath("tex_atfim"), gpu_(gpu), atfim_(atfim), pkts_(pkts),
+      hmc_(hmc), l2_("atfim_l2", gpu.texL2),
+      unit_free_(gpu.clusters, 0)
+{
+    l1_.reserve(gpu_.clusters);
+    for (unsigned c = 0; c < gpu_.clusters; ++c)
+        l1_.push_back(std::make_unique<TagCache>(
+            "atfim_l1_" + std::to_string(c), gpu_.texL1));
+}
+
+TexResponse
+AtfimTexturePath::process(const TexRequest &req)
+{
+    TEXPIM_ASSERT(req.tex != nullptr, "texture request without texture");
+    TEXPIM_ASSERT(req.clusterId < l1_.size(), "bad cluster id");
+    TEXPIM_ASSERT(req.mode != FilterMode::Nearest,
+                  "A-TFIM requires a linear filter mode");
+
+    // Functional decomposition: parent texels as if anisotropic
+    // filtering were off, plus the child texels the HMC would fetch.
+    sampleDecomposed(*req.tex, req.coords, req.mode, req.maxAniso, scratch_);
+    unsigned n_parents = unsigned(scratch_.parents.size());
+    float angle = req.coords.cameraAngle;
+
+    // Host texture unit: parent address generation (pipelined, same
+    // coalesced throughput as the baseline unit).
+    Cycle addr_gen = std::max<Cycle>(
+        1, (n_parents + gpu_.texUnitTexelsPerCycle - 1) /
+               gpu_.texUnitTexelsPerCycle);
+    Cycle start = std::max(req.issue, unit_free_[req.clusterId]);
+    Cycle t0 = start + addr_gen;
+
+    // Angle-checked cache lookups per parent texel.
+    TagCache &l1 = *l1_[req.clusterId];
+    Cycle host_ready = t0 + gpu_.texL1HitLatency;
+
+    ColorF values[8];
+    unsigned miss_idx[8];
+    unsigned n_miss = 0;
+    u64 total_children = 0;
+
+    for (unsigned p = 0; p < n_parents; ++p) {
+        const ParentTexel &parent = scratch_.parents[p];
+        bool reuse = false;
+
+        CacheOutcome o1 =
+            l1.accessAngled(parent.addr, angle, atfim_.angleThresholdRad);
+        if (o1 == CacheOutcome::Hit) {
+            ++stats_.counter("l1_hits");
+            reuse = true;
+        } else {
+            if (o1 == CacheOutcome::AngleMiss)
+                ++stats_.counter("l1_angle_recalcs");
+            else
+                ++stats_.counter("l1_misses");
+            // The L2 copy may still be angle-valid (e.g. refreshed by
+            // another cluster); reuse it if so.
+            CacheOutcome o2 = l2_.accessAngled(parent.addr, angle,
+                                               atfim_.angleThresholdRad);
+            if (o2 == CacheOutcome::Hit) {
+                ++stats_.counter("l2_hits");
+                reuse = true;
+                host_ready =
+                    std::max(host_ready, t0 + gpu_.texL1HitLatency +
+                                             gpu_.texL2HitLatency);
+            } else {
+                // Parent must be (re)calculated in the HMC (SV-C).
+                if (o2 == CacheOutcome::AngleMiss)
+                    ++stats_.counter("l2_angle_recalcs");
+                else
+                    ++stats_.counter("l2_misses");
+                miss_idx[n_miss++] = p;
+                total_children += parent.children.size();
+
+                // The refill replaces the whole cache line (one camera
+                // angle per line, SV-D): values the line held from the
+                // old angle are gone, so drop their stored copies too.
+                Addr line = l1.lineAddr(parent.addr);
+                for (Addr a = line; a < line + l1.lineBytes();
+                     a += kBytesPerTexel) {
+                    if (a != parent.addr)
+                        parent_values_.erase(a);
+                }
+            }
+        }
+
+        // Functional value: a reuse-hit takes the stored (possibly
+        // stale — that is the approximation) value; recalculation
+        // refreshes the store with the fresh value.
+        // (TEXPIM_ATFIM_NO_REUSE=1 disables the approximation for
+        // quality-debugging: timing unchanged, values always fresh.)
+        static const bool no_reuse =
+            std::getenv("TEXPIM_ATFIM_NO_REUSE") != nullptr;
+        u32 child_key = 0;
+        for (Addr a : parent.children)
+            child_key = child_key * 1000003u + u32(a ^ (a >> 17));
+
+        auto it = parent_values_.find(parent.addr);
+        if (reuse && !no_reuse && it != parent_values_.end()) {
+            const StoredParent &sp = it->second;
+            values[p] = sp.value;
+            float err = std::fabs(sp.value.r - parent.value.r) +
+                        std::fabs(sp.value.g - parent.value.g) +
+                        std::fabs(sp.value.b - parent.value.b);
+            stats_.average("reuse_error").sample(err / 3.0);
+            if (err > 3.0f / 255.0f) {
+                ++stats_.counter("reuse_mismatches");
+                if (sp.childKey == child_key)
+                    ++stats_.counter("reuse_mismatch_same_children");
+                static long dump_left =
+                    std::getenv("TEXPIM_DUMP_MISMATCH")
+                        ? std::atol(std::getenv("TEXPIM_DUMP_MISMATCH"))
+                        : 0;
+                if (dump_left > 0) {
+                    --dump_left;
+                    std::fprintf(stderr,
+                                 "mismatch addr=%llx err=%.4f stored(N=%u "
+                                 "ang=%.3f key=%08x) fresh(N=%u ang=%.3f "
+                                 "key=%08x nchild=%zu)\n",
+                                 (unsigned long long)parent.addr, err,
+                                 sp.aniso, sp.angle, sp.childKey,
+                                 scratch_.anisoRatio, angle, child_key,
+                                 parent.children.size());
+                }
+            }
+        } else {
+            values[p] = parent.value;
+            parent_values_[parent.addr] =
+                StoredParent{parent.value, child_key,
+                             u8(scratch_.anisoRatio), angle};
+        }
+    }
+
+    Cycle parents_ready = host_ready;
+
+    if (n_miss > 0) {
+        // Offloading Unit: one compacted package for all missing
+        // parents of this request (base address + per-parent offsets).
+        Cycle offload_at = t0 + gpu_.texL1HitLatency + gpu_.texL2HitLatency;
+        u64 pkg_bytes = atfim_.compactPackages
+                            ? pkts_.atfimRequestBytes(n_miss)
+                            : n_miss * pkts_.readRequestBytes *
+                                  pkts_.offloadFactor;
+        // One package, one cube: parents and children share a texture
+        // (§V-E), so route by the first missing parent.
+        Addr route = scratch_.parents[miss_idx[0]].addr;
+        Cycle arrival = hmc_.hostToDevice(pkg_bytes,
+                                          TrafficClass::PimPackage,
+                                          offload_at, route);
+
+        // Texel Generator / Combination Unit pipeline occupancy (both
+        // 16-wide, fractional so small groups don't waste slots);
+        // decompose is a latency stage of the pipeline.
+        double gen_occupancy =
+            double(total_children) / double(atfim_.texelGeneratorAlus);
+        Cycle gen_cycles = Cycle(std::ceil(gen_occupancy));
+        Cycle combine = (total_children + atfim_.combinationAlus - 1) /
+                        atfim_.combinationAlus;
+        double pipe_start = logic_pipe_.reserve(double(arrival),
+                                                gen_occupancy);
+        Cycle fetch_at =
+            Cycle(pipe_start) + atfim_.decomposeLatency + gen_cycles;
+
+        // Child Texel Consolidation: merge identical child fetches
+        // into DRAM bursts (children of neighboring parents overlap
+        // heavily, which is exactly what this unit exploits).
+        child_blocks_.clear();
+        u64 gran = atfim_.childFetchGranularityBytes;
+        for (unsigned i = 0; i < n_miss; ++i)
+            for (Addr a : scratch_.parents[miss_idx[i]].children)
+                child_blocks_.push_back(a & ~(gran - 1));
+        if (atfim_.consolidateChildren) {
+            std::sort(child_blocks_.begin(), child_blocks_.end());
+            child_blocks_.erase(
+                std::unique(child_blocks_.begin(), child_blocks_.end()),
+                child_blocks_.end());
+        }
+
+        Cycle mem_done = fetch_at;
+        for (Addr b : child_blocks_) {
+            mem_done = std::max(
+                mem_done,
+                hmc_.internalAccess(
+                    {b, gran, MemOp::Read, TrafficClass::Texture, fetch_at}));
+        }
+
+        // Combination Unit averaging drains behind the child fetches,
+        // then the composing stage groups the response package.
+        Cycle done = mem_done + combine + atfim_.composeLatency;
+
+        Cycle back = hmc_.deviceToHost(pkts_.atfimResponseBytes(n_miss),
+                                       TrafficClass::PimPackage, done,
+                                       route);
+        parents_ready = std::max(parents_ready, back);
+
+        stats_.counter("offload_packages") += 1;
+        stats_.counter("parents_offloaded") += n_miss;
+        stats_.counter("children_generated") += total_children;
+        stats_.counter("child_blocks_fetched") += child_blocks_.size();
+        stats_.counter("texel_gen_ops") += total_children;
+        stats_.counter("combine_ops") += total_children;
+    }
+
+    // Host bilinear/trilinear over the (approximated) parent texels.
+    Cycle host_filter = std::max<Cycle>(
+        1, (scratch_.hostFilterOps + gpu_.texUnitTexelsPerCycle - 1) /
+               gpu_.texUnitTexelsPerCycle);
+    Cycle complete = parents_ready + host_filter;
+    unit_free_[req.clusterId] =
+        start + std::max(addr_gen, host_filter);
+
+    ColorF color = scratch_.combine(values);
+
+    stats_.counter("parents") += n_parents;
+    stats_.counter("host_filter_ops") += scratch_.hostFilterOps;
+    stats_.counter("addr_ops") += n_parents;
+    recordRequest(req.wanted ? req.wanted : req.issue, complete);
+
+    return {color, complete};
+}
+
+void
+AtfimTexturePath::beginFrame()
+{
+    std::fill(unit_free_.begin(), unit_free_.end(), 0);
+    logic_pipe_.reset();
+}
+
+u64
+AtfimTexturePath::angleRecalcs() const
+{
+    u64 n = 0;
+    if (stats_.hasCounter("l1_angle_recalcs"))
+        n += stats_.findCounter("l1_angle_recalcs").value();
+    if (stats_.hasCounter("l2_angle_recalcs"))
+        n += stats_.findCounter("l2_angle_recalcs").value();
+    return n;
+}
+
+void
+AtfimTexturePath::resetStats()
+{
+    TexturePath::resetStats();
+    for (auto &c : l1_)
+        c->resetStats();
+    l2_.resetStats();
+}
+
+} // namespace texpim

@@ -1,0 +1,26 @@
+#include "pim/packages.hh"
+
+namespace texpim {
+
+PimPacketParams
+PimPacketParams::fromConfig(const Config &cfg)
+{
+    PimPacketParams p;
+    p.readRequestBytes =
+        u64(cfg.getInt("pim.read_request_bytes", i64(p.readRequestBytes)));
+    p.responseHeaderBytes = u64(
+        cfg.getInt("pim.response_header_bytes", i64(p.responseHeaderBytes)));
+    p.offloadFactor =
+        u64(cfg.getInt("pim.offload_factor", i64(p.offloadFactor)));
+    p.texResultBytes =
+        u64(cfg.getInt("pim.tex_result_bytes", i64(p.texResultBytes)));
+    p.parentBaseAddrBytes = u64(
+        cfg.getInt("pim.parent_base_addr_bytes", i64(p.parentBaseAddrBytes)));
+    p.parentOffsetBytes =
+        u64(cfg.getInt("pim.parent_offset_bytes", i64(p.parentOffsetBytes)));
+    p.parentValueBytes =
+        u64(cfg.getInt("pim.parent_value_bytes", i64(p.parentValueBytes)));
+    return p;
+}
+
+} // namespace texpim

@@ -1,0 +1,118 @@
+#include "pim/stfim_path.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+StfimTexturePath::StfimTexturePath(const GpuParams &gpu,
+                                   const MtuParams &mtu,
+                                   const PimPacketParams &pkts,
+                                   HmcMemory &hmc)
+    : TexturePath("tex_stfim"), gpu_(gpu), mtu_params_(mtu), pkts_(pkts),
+      hmc_(hmc)
+{
+    TEXPIM_ASSERT(mtu_params_.requestQueueEntries > 0,
+                  "MTU needs a request queue");
+    mtus_.resize(gpu_.clusters);
+    for (auto &m : mtus_)
+        m.queueSlots.assign(mtu_params_.requestQueueEntries, 0);
+}
+
+void
+StfimTexturePath::beginFrame()
+{
+    for (auto &m : mtus_) {
+        std::fill(m.queueSlots.begin(), m.queueSlots.end(), 0);
+        m.head = 0;
+        m.pipeFree = 0;
+    }
+}
+
+TexResponse
+StfimTexturePath::process(const TexRequest &req)
+{
+    TEXPIM_ASSERT(req.tex != nullptr, "texture request without texture");
+    TEXPIM_ASSERT(req.clusterId < mtus_.size(), "bad cluster id");
+    Mtu &mtu = mtus_[req.clusterId];
+
+    // Functional filtering is unchanged: S-TFIM moves computation, not
+    // math, so the output image is bit-identical to the baseline.
+    sampleConventional(*req.tex, req.coords, req.mode, req.maxAniso,
+                       scratch_);
+    unsigned texels = unsigned(scratch_.fetches.size());
+
+    // 1. Request package to the HMC over the transmit link. Requests
+    //    are batched per fragment quad (one package carries
+    //    requestsPerPackage requests; each is charged its share).
+    //    When the MTU queue is full, the shader suspends the package
+    //    until a slot frees up ("stall"/"resume" flow control, SIV) —
+    //    modeled by the ring of per-slot completion times.
+    Cycle send_at = std::max(req.issue, mtu.queueSlots[mtu.head]);
+    if (send_at > req.issue)
+        ++stats_.counter("queue_stalls");
+    u64 req_share = std::max<u64>(
+        1, pkts_.stfimRequestBytes() / mtu_params_.requestsPerPackage);
+    // Packages route to the cube owning this request's texture (§V-E).
+    Addr route = scratch_.fetches.empty() ? 0 : scratch_.fetches[0].addr;
+    Cycle arrival = hmc_.hostToDevice(req_share, TrafficClass::PimPackage,
+                                      send_at, route);
+
+    // 2. MTU pipeline: FIFO scheduler, address generation, texel
+    //    fetches straight from the vaults (it has no cache; the DRAM
+    //    dies are its local memory), then filtering.
+    Cycle start = std::max(arrival, mtu.pipeFree);
+    Cycle occupancy = std::max<Cycle>(
+        1, (texels + mtu_params_.texelsPerCycle - 1) /
+               mtu_params_.texelsPerCycle);
+    Cycle addr_gen = occupancy;
+    Cycle filter = occupancy;
+    mtu.pipeFree = start + occupancy;
+
+    Cycle t0 = start + addr_gen;
+
+    // Coalesce texel fetches into DRAM bursts within this request.
+    blocks_.clear();
+    u64 gran = mtu_params_.fetchGranularityBytes;
+    for (const auto &f : scratch_.fetches)
+        blocks_.push_back(f.addr & ~(gran - 1));
+    std::sort(blocks_.begin(), blocks_.end());
+    blocks_.erase(std::unique(blocks_.begin(), blocks_.end()),
+                  blocks_.end());
+
+    Cycle mem_done = t0;
+    for (Addr b : blocks_) {
+        mem_done = std::max(
+            mem_done, hmc_.internalAccess(
+                          {b, gran, MemOp::Read, TrafficClass::Texture, t0}));
+    }
+
+    Cycle filtered_at = mem_done + filter;
+
+    // 3. Response package back to the host shader: one package per
+    //    quad carries requestsPerPackage filtered results behind one
+    //    header; each request is charged its result plus a header
+    //    share.
+    u64 resp_share =
+        pkts_.texResultBytes +
+        std::max<u64>(1, pkts_.responseHeaderBytes /
+                             mtu_params_.requestsPerPackage);
+    Cycle complete = hmc_.deviceToHost(resp_share, TrafficClass::PimPackage,
+                                       filtered_at, route);
+
+    // Retire the queue slot.
+    mtu.queueSlots[mtu.head] = filtered_at;
+    mtu.head = (mtu.head + 1) % mtu.queueSlots.size();
+
+    stats_.counter("texels") += texels;
+    stats_.counter("dram_blocks") += blocks_.size();
+    stats_.counter("packages") += 2;
+    stats_.counter("addr_ops") += texels;
+    stats_.counter("filter_ops") += scratch_.filterOps;
+    recordRequest(req.wanted ? req.wanted : req.issue, complete);
+
+    return {scratch_.color, complete};
+}
+
+} // namespace texpim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * S-TFIM (§IV): all texture units move from the host GPU into the HMC
+ * logic layer as Memory Texture Units (MTUs), one per shader cluster.
+ *
+ * Every texture request becomes a package shipped over the external
+ * links (4x a normal read request), is buffered in the MTU's 256-entry
+ * request queue, filtered against DRAM directly (no texture caches
+ * anywhere — the host lost its L1/L2, the MTU never had one), and the
+ * filtered texture returns as a response package. The package traffic
+ * and the loss of on-chip texel reuse are exactly the pathologies the
+ * paper measures for this design.
+ */
+
+#ifndef TEXPIM_PIM_STFIM_PATH_HH
+#define TEXPIM_PIM_STFIM_PATH_HH
+
+#include <vector>
+
+#include "gpu/params.hh"
+#include "gpu/texture_path.hh"
+#include "mem/hmc.hh"
+#include "pim/packages.hh"
+
+namespace texpim {
+
+/** MTU configuration (Table I: 4 address ALUs, 8 filtering ALUs,
+ *  256-entry texture request queue per §IV/§V-D). */
+struct MtuParams
+{
+    unsigned addressAlus = 4;
+    unsigned filterAlus = 8;
+    unsigned requestQueueEntries = 256;
+    u64 fetchGranularityBytes = 16; //!< HMC minimum-block DRAM burst
+
+    /** Pipeline throughput, as for the host texture unit (each
+     *  address ALU emits a 2x2 footprint per cycle). */
+    unsigned texelsPerCycle = 16;
+
+    /**
+     * Texture requests per request/response package. The paper models
+     * one offloading package (4x a normal read request) per texture
+     * request, which is what reproduces Fig. 12's 2.79x S-TFIM
+     * texture-traffic blowup; raise this to study quad-batched
+     * packaging (the ablation bench does).
+     */
+    unsigned requestsPerPackage = 1;
+};
+
+class StfimTexturePath : public TexturePath
+{
+  public:
+    StfimTexturePath(const GpuParams &gpu, const MtuParams &mtu,
+                     const PimPacketParams &pkts, HmcMemory &hmc);
+
+    TexResponse process(const TexRequest &req) override;
+
+    /** Frame boundary: rewind MTU queues and pipelines. */
+    void beginFrame() override;
+
+  private:
+    /** One Memory Texture Unit in the logic layer. */
+    struct Mtu
+    {
+        std::vector<Cycle> queueSlots; //!< ring: per-slot completion
+        size_t head = 0;
+        Cycle pipeFree = 0;
+    };
+
+    GpuParams gpu_;
+    MtuParams mtu_params_;
+    PimPacketParams pkts_;
+    HmcMemory &hmc_;
+    std::vector<Mtu> mtus_; //!< one private MTU per cluster (§IV)
+    SampleResult scratch_;
+    std::vector<Addr> blocks_;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_PIM_STFIM_PATH_HH

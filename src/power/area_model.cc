@@ -1,0 +1,41 @@
+#include "power/area_model.hh"
+
+namespace texpim {
+
+AtfimOverhead
+computeAtfimOverhead(const AreaParams &params, unsigned ptb_entries,
+                     unsigned ptb_entry_bits, unsigned consolidation_entries,
+                     unsigned consolidation_entry_bits,
+                     const CacheParams &l1, const CacheParams &l2,
+                     unsigned num_texture_units)
+{
+    AtfimOverhead o;
+
+    // HMC logic-layer storage (§VII-E): (256 x 45) / (1024 x 8) KB.
+    o.parentTexelBufferKB =
+        double(ptb_entries) * ptb_entry_bits / (1024.0 * 8.0);
+    o.consolidationBufferKB = double(consolidation_entries) *
+                              consolidation_entry_bits / (1024.0 * 8.0);
+    o.hmcStorageMm2 =
+        (o.parentTexelBufferKB + o.consolidationBufferKB) *
+        params.bufferMm2PerKB;
+    // Texel Generator + Combination Unit: two 16-wide fp ALU arrays.
+    o.hmcLogicMm2 = 2.0 * params.vectorAlu16Mm2;
+    o.hmcTotalMm2 = o.hmcStorageMm2 + o.hmcLogicMm2;
+    o.hmcFractionOfDie = o.hmcTotalMm2 / params.dramDieMm2;
+
+    // GPU-side camera-angle tags: 7 bits per texture cache line.
+    double l1_lines = double(l1.sizeBytes) / double(l1.lineBytes);
+    double l2_lines = double(l2.sizeBytes) / double(l2.lineBytes);
+    o.l1AngleKBPerCache = l1_lines * o.angleBitsPerLine / (1024.0 * 8.0);
+    o.l2AngleKB = l2_lines * o.angleBitsPerLine / (1024.0 * 8.0);
+    o.gpuStorageKB =
+        o.l1AngleKBPerCache * num_texture_units + o.l2AngleKB;
+    // Angle tags extend existing dense cache arrays, so they get the
+    // dense-SRAM density rather than the latch-buffer one.
+    o.gpuAreaMm2 = o.gpuStorageKB * params.cacheMm2PerKB;
+    o.gpuFractionOfDie = o.gpuAreaMm2 / params.gpuDieMm2;
+    return o;
+}
+
+} // namespace texpim

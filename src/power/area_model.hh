@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CACTI-lite area model reproducing the §VII-E overhead analysis at
+ * 28 nm: storage for the Parent Texel Buffer and Child Texel
+ * Consolidation in the HMC logic layer, the Texel Generator /
+ * Combination Unit ALU arrays, and the 7-bit camera-angle tags added
+ * to the GPU texture caches.
+ */
+
+#ifndef TEXPIM_POWER_AREA_MODEL_HH
+#define TEXPIM_POWER_AREA_MODEL_HH
+
+#include "cache/tag_cache.hh"
+#include "common/types.hh"
+
+namespace texpim {
+
+struct AreaParams
+{
+    // Density coefficients at 28 nm, calibrated against the paper's
+    // CACTI 6.5 / McPAT results (§VII-E).
+    double bufferMm2PerKB = 0.586; //!< small multi-ported latch arrays
+    double cacheMm2PerKB = 0.074;  //!< dense SRAM with existing periphery
+    double vectorAlu16Mm2 = 3.045; //!< one 16-wide fp vector ALU array
+
+    double dramDieMm2 = 226.1; //!< 8 Gb DRAM die (Shevgoor et al.)
+    double gpuDieMm2 = 136.7;  //!< host GPU die
+};
+
+/** §VII-E structure sizes, derived from the design parameters. */
+struct AtfimOverhead
+{
+    // HMC-side storage.
+    double parentTexelBufferKB = 0.0; //!< 256 x 45 bits
+    double consolidationBufferKB = 0.0;
+    double hmcStorageMm2 = 0.0;
+    double hmcLogicMm2 = 0.0;
+    double hmcTotalMm2 = 0.0;
+    double hmcFractionOfDie = 0.0;
+
+    // GPU-side angle tags.
+    double angleBitsPerLine = 7.0;
+    double l1AngleKBPerCache = 0.0;
+    double l2AngleKB = 0.0;
+    double gpuStorageKB = 0.0;
+    double gpuAreaMm2 = 0.0;
+    double gpuFractionOfDie = 0.0;
+};
+
+/**
+ * Compute the A-TFIM overhead for the given buffers/caches.
+ * @param ptb_entries Parent Texel Buffer entries (paper: 256)
+ * @param ptb_entry_bits bits per entry (paper: 8 id + 32 value +
+ *        1 done + 4 child count = 45)
+ * @param consolidation_entries child-parent pair buffer (paper: 256)
+ * @param consolidation_entry_bits pair width (paper: 16)
+ * @param num_texture_units texture units with an L1 (paper: 16)
+ */
+AtfimOverhead computeAtfimOverhead(const AreaParams &params,
+                                   unsigned ptb_entries,
+                                   unsigned ptb_entry_bits,
+                                   unsigned consolidation_entries,
+                                   unsigned consolidation_entry_bits,
+                                   const CacheParams &l1,
+                                   const CacheParams &l2,
+                                   unsigned num_texture_units);
+
+} // namespace texpim
+
+#endif // TEXPIM_POWER_AREA_MODEL_HH

@@ -1,0 +1,126 @@
+#include "quality/image_metrics.hh"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+namespace {
+
+void
+checkSameSize(const FrameBuffer &a, const FrameBuffer &b)
+{
+    TEXPIM_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                  "image size mismatch: ", a.width(), "x", a.height(),
+                  " vs ", b.width(), "x", b.height());
+}
+
+double
+luma(Rgba8 c)
+{
+    return 0.299 * c.r + 0.587 * c.g + 0.114 * c.b;
+}
+
+} // namespace
+
+double
+meanSquaredError(const FrameBuffer &a, const FrameBuffer &b)
+{
+    checkSameSize(a, b);
+    const auto &pa = a.colors();
+    const auto &pb = b.colors();
+    double se = 0.0;
+    for (size_t i = 0; i < pa.size(); ++i) {
+        double dr = double(pa[i].r) - pb[i].r;
+        double dg = double(pa[i].g) - pb[i].g;
+        double db = double(pa[i].b) - pb[i].b;
+        se += dr * dr + dg * dg + db * db;
+    }
+    return se / (double(pa.size()) * 3.0);
+}
+
+double
+psnr(const FrameBuffer &a, const FrameBuffer &b)
+{
+    double mse = meanSquaredError(a, b);
+    if (mse <= 0.0)
+        return kIdenticalPsnr;
+    double v = 10.0 * std::log10(255.0 * 255.0 / mse);
+    return std::min(v, kIdenticalPsnr);
+}
+
+double
+ssim(const FrameBuffer &a, const FrameBuffer &b)
+{
+    checkSameSize(a, b);
+    constexpr double kC1 = (0.01 * 255) * (0.01 * 255);
+    constexpr double kC2 = (0.03 * 255) * (0.03 * 255);
+    constexpr unsigned kWin = 8;
+
+    double total = 0.0;
+    u64 windows = 0;
+    for (unsigned wy = 0; wy + kWin <= a.height(); wy += kWin) {
+        for (unsigned wx = 0; wx + kWin <= a.width(); wx += kWin) {
+            double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+            for (unsigned y = wy; y < wy + kWin; ++y) {
+                for (unsigned x = wx; x < wx + kWin; ++x) {
+                    double va = luma(a.pixel(x, y));
+                    double vb = luma(b.pixel(x, y));
+                    sum_a += va;
+                    sum_b += vb;
+                    sum_aa += va * va;
+                    sum_bb += vb * vb;
+                    sum_ab += va * vb;
+                }
+            }
+            double n = kWin * kWin;
+            double mu_a = sum_a / n;
+            double mu_b = sum_b / n;
+            double var_a = sum_aa / n - mu_a * mu_a;
+            double var_b = sum_bb / n - mu_b * mu_b;
+            double cov = sum_ab / n - mu_a * mu_b;
+            double s = ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
+                       ((mu_a * mu_a + mu_b * mu_b + kC1) *
+                        (var_a + var_b + kC2));
+            total += s;
+            ++windows;
+        }
+    }
+    return windows ? total / double(windows) : 1.0;
+}
+
+u64
+differingPixels(const FrameBuffer &a, const FrameBuffer &b)
+{
+    checkSameSize(a, b);
+    const auto &pa = a.colors();
+    const auto &pb = b.colors();
+    u64 n = 0;
+    for (size_t i = 0; i < pa.size(); ++i) {
+        if (pa[i].r != pb[i].r || pa[i].g != pb[i].g || pa[i].b != pb[i].b)
+            ++n;
+    }
+    return n;
+}
+
+void
+writePpm(const FrameBuffer &fb, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        TEXPIM_FATAL("cannot open '", path, "' for writing");
+    os << "P6\n" << fb.width() << " " << fb.height() << "\n255\n";
+    for (unsigned y = 0; y < fb.height(); ++y) {
+        for (unsigned x = 0; x < fb.width(); ++x) {
+            Rgba8 c = fb.pixel(x, y);
+            char rgb[3] = {char(c.r), char(c.g), char(c.b)};
+            os.write(rgb, 3);
+        }
+    }
+    if (!os)
+        TEXPIM_FATAL("write to '", path, "' failed");
+}
+
+} // namespace texpim

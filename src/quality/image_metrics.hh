@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Image-quality metrics for the performance-quality trade-off study
+ * (§VII-D): PSNR (the paper's primary metric, with its "identical
+ * images report 99 dB" convention) and SSIM (mentioned as the less
+ * sensitive alternative), plus PPM image I/O for inspection.
+ */
+
+#ifndef TEXPIM_QUALITY_IMAGE_METRICS_HH
+#define TEXPIM_QUALITY_IMAGE_METRICS_HH
+
+#include <string>
+#include <vector>
+
+#include "geom/color.hh"
+#include "gpu/framebuffer.hh"
+
+namespace texpim {
+
+/** The paper reports PSNR 99 when comparing two identical images. */
+inline constexpr double kIdenticalPsnr = 99.0;
+
+/**
+ * Peak signal-to-noise ratio over the RGB channels of two equally
+ * sized images. Returns kIdenticalPsnr for identical inputs.
+ */
+double psnr(const FrameBuffer &a, const FrameBuffer &b);
+
+/** Mean squared error over RGB (0..255 scale). */
+double meanSquaredError(const FrameBuffer &a, const FrameBuffer &b);
+
+/**
+ * Structural similarity (luma, 8x8 windows, K1=0.01 K2=0.03, L=255).
+ * 1.0 for identical images.
+ */
+double ssim(const FrameBuffer &a, const FrameBuffer &b);
+
+/** Count of pixels whose RGB differs at all. */
+u64 differingPixels(const FrameBuffer &a, const FrameBuffer &b);
+
+/** Write a binary PPM (P6). fatal() on I/O errors. */
+void writePpm(const FrameBuffer &fb, const std::string &path);
+
+} // namespace texpim
+
+#endif // TEXPIM_QUALITY_IMAGE_METRICS_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The five game profiles of Table II and the 11 benchmark workload
+ * points (game x resolution) the paper evaluates.
+ *
+ * Each profile procedurally builds a scene whose *texel-fetch
+ * structure* mimics the corresponding title: indoor corridor shooters
+ * (Doom3, Riddick, Wolfenstein) with grazing-angle floors and walls,
+ * an office-interior shooter (FEAR), and a larger outdoor/indoor mix
+ * (Half-Life 2). See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef TEXPIM_SCENE_GAME_PROFILES_HH
+#define TEXPIM_SCENE_GAME_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "scene/scene.hh"
+
+namespace texpim {
+
+enum class Game : u8 { Doom3, Fear, HalfLife2, Riddick, Wolfenstein };
+
+const char *gameName(Game g);
+
+/** Rendering library per Table II (informational). */
+const char *gameLibrary(Game g);
+
+/** 3D engine per Table II (informational). */
+const char *gameEngine(Game g);
+
+/** One benchmark point of Table II. */
+struct Workload
+{
+    Game game;
+    unsigned width;
+    unsigned height;
+
+    std::string label() const; //!< e.g. "doom3-1280x1024"
+};
+
+/** The 11 workload points of Table II, in the paper's order. */
+const std::vector<Workload> &paperWorkloads();
+
+/**
+ * Default maximum anisotropy per resolution: the paper observes that
+ * higher-resolution configurations "usually demand higher anisotropic
+ * level and texel details" (§VII-A).
+ */
+unsigned defaultMaxAniso(unsigned width);
+
+/**
+ * Build the scene for a workload.
+ * @param frame camera-path position; consecutive frames move the
+ *              camera through the level
+ * @param seed  content seed (fixed default for reproducibility)
+ */
+Scene buildGameScene(const Workload &wl, unsigned frame = 0,
+                     u64 seed = 0x7e01d);
+
+} // namespace texpim
+
+#endif // TEXPIM_SCENE_GAME_PROFILES_HH

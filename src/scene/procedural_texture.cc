@@ -1,0 +1,179 @@
+#include "scene/procedural_texture.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "geom/vec.hh"
+
+namespace texpim {
+
+namespace {
+
+/** Integer lattice hash -> [0,1). */
+float
+latticeHash(int x, int y, u64 seed)
+{
+    u64 h = seed;
+    h ^= u64(u32(x)) * 0x9e3779b97f4a7c15ull;
+    h ^= u64(u32(y)) * 0xc2b2ae3d27d4eb4full;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 32;
+    return float(h >> 40) / float(1 << 24);
+}
+
+float
+smoothstep(float t)
+{
+    return t * t * (3.0f - 2.0f * t);
+}
+
+/** One octave of value noise. */
+float
+valueNoise(float x, float y, u64 seed)
+{
+    float fx = std::floor(x);
+    float fy = std::floor(y);
+    int ix = int(fx);
+    int iy = int(fy);
+    float tx = smoothstep(x - fx);
+    float ty = smoothstep(y - fy);
+    float v00 = latticeHash(ix, iy, seed);
+    float v10 = latticeHash(ix + 1, iy, seed);
+    float v01 = latticeHash(ix, iy + 1, seed);
+    float v11 = latticeHash(ix + 1, iy + 1, seed);
+    return lerp(lerp(v00, v10, tx), lerp(v01, v11, tx), ty);
+}
+
+ColorF
+shade(ColorF base, float t)
+{
+    return (base * (0.6f + 0.4f * t)).clamped();
+}
+
+} // namespace
+
+float
+fbmNoise(float x, float y, unsigned octaves, u64 seed)
+{
+    float sum = 0.0f;
+    float amp = 0.5f;
+    float freq = 1.0f;
+    float norm = 0.0f;
+    for (unsigned o = 0; o < octaves; ++o) {
+        sum += amp * valueNoise(x * freq, y * freq, seed + o * 1013);
+        norm += amp;
+        amp *= 0.5f;
+        freq *= 2.0f;
+    }
+    return norm > 0.0f ? sum / norm : 0.0f;
+}
+
+const char *
+materialName(Material m)
+{
+    switch (m) {
+      case Material::Checker:
+        return "checker";
+      case Material::Bricks:
+        return "bricks";
+      case Material::Stone:
+        return "stone";
+      case Material::Marble:
+        return "marble";
+      case Material::Wood:
+        return "wood";
+      case Material::Metal:
+        return "metal";
+      case Material::Grass:
+        return "grass";
+      case Material::Concrete:
+        return "concrete";
+      default:
+        TEXPIM_PANIC("bad material ", int(m));
+    }
+}
+
+TextureImage
+generateTexture(Material m, unsigned size, u64 seed)
+{
+    TEXPIM_ASSERT(size >= 4, "texture too small");
+    TextureImage img(size, size);
+    float inv = 1.0f / float(size);
+
+    for (unsigned y = 0; y < size; ++y) {
+        for (unsigned x = 0; x < size; ++x) {
+            float u = float(x) * inv;
+            float v = float(y) * inv;
+            ColorF c;
+            switch (m) {
+              case Material::Checker: {
+                bool on = ((x * 8 / size) + (y * 8 / size)) & 1;
+                c = on ? ColorF{0.9f, 0.9f, 0.85f} : ColorF{0.15f, 0.15f, 0.2f};
+                break;
+              }
+              case Material::Bricks: {
+                float row = v * 8.0f;
+                float shift = (int(row) & 1) ? 0.5f : 0.0f;
+                float col = u * 4.0f + shift;
+                float mx = col - std::floor(col);
+                float my = row - std::floor(row);
+                bool mortar = mx < 0.06f || my < 0.12f;
+                float n = fbmNoise(u * 32, v * 32, 3, seed);
+                c = mortar ? ColorF{0.75f, 0.73f, 0.7f}
+                           : shade(ColorF{0.55f, 0.22f, 0.16f}, n);
+                break;
+              }
+              case Material::Stone: {
+                float n = fbmNoise(u * 12, v * 12, 5, seed);
+                float cracks =
+                    std::fabs(fbmNoise(u * 6, v * 6, 4, seed + 7) - 0.5f);
+                float t = n * (cracks < 0.03f ? 0.5f : 1.0f);
+                c = shade(ColorF{0.5f, 0.5f, 0.52f}, t);
+                break;
+              }
+              case Material::Marble: {
+                float n = fbmNoise(u * 8, v * 8, 5, seed);
+                float vein =
+                    0.5f + 0.5f * std::sin((u * 10.0f + n * 6.0f) * 3.1416f);
+                c = lerp(ColorF{0.85f, 0.85f, 0.88f},
+                         ColorF{0.45f, 0.42f, 0.48f}, vein * vein);
+                break;
+              }
+              case Material::Wood: {
+                float r = std::sqrt((u - 0.5f) * (u - 0.5f) +
+                                    (v - 0.5f) * (v - 0.5f));
+                float n = fbmNoise(u * 6, v * 6, 3, seed);
+                float ring = 0.5f + 0.5f * std::sin((r * 40.0f + n * 4.0f));
+                c = lerp(ColorF{0.55f, 0.35f, 0.18f},
+                         ColorF{0.35f, 0.2f, 0.1f}, ring);
+                break;
+              }
+              case Material::Metal: {
+                float n = fbmNoise(u * 40, v * 2, 3, seed);
+                float scan = 0.9f + 0.1f * std::sin(v * size * 0.8f);
+                c = shade(ColorF{0.5f, 0.55f, 0.6f}, n * scan);
+                break;
+              }
+              case Material::Grass: {
+                float n = fbmNoise(u * 24, v * 24, 4, seed);
+                c = lerp(ColorF{0.15f, 0.4f, 0.12f},
+                         ColorF{0.35f, 0.55f, 0.2f}, n);
+                break;
+              }
+              case Material::Concrete: {
+                float n = fbmNoise(u * 16, v * 16, 4, seed);
+                float stain = fbmNoise(u * 3, v * 3, 2, seed + 3);
+                c = shade(ColorF{0.62f, 0.6f, 0.58f}, 0.7f * n + 0.3f * stain);
+                break;
+              }
+              default:
+                TEXPIM_PANIC("bad material");
+            }
+            img.setTexel(x, y, packColor(c));
+        }
+    }
+    return img;
+}
+
+} // namespace texpim

@@ -1,0 +1,24 @@
+#include "sim/design.hh"
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+const char *
+designName(Design d)
+{
+    switch (d) {
+      case Design::Baseline:
+        return "Baseline";
+      case Design::BPim:
+        return "B-PIM";
+      case Design::STfim:
+        return "S-TFIM";
+      case Design::ATfim:
+        return "A-TFIM";
+      default:
+        TEXPIM_PANIC("bad design ", int(d));
+    }
+}
+
+} // namespace texpim

@@ -1,0 +1,155 @@
+#include "sim/experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <iomanip>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+std::vector<Workload>
+suiteWorkloads(const SuiteOptions &opt)
+{
+    std::vector<Workload> out = paperWorkloads();
+    if (opt.resolutionDivisor > 1) {
+        for (auto &w : out) {
+            w.width = std::max(64u, w.width / opt.resolutionDivisor);
+            w.height = std::max(48u, w.height / opt.resolutionDivisor);
+        }
+    }
+    return out;
+}
+
+SimResult
+runWorkload(const SimConfig &cfg, const Workload &wl,
+            const SuiteOptions &opt)
+{
+    Scene scene = buildGameScene(wl, opt.frame, opt.seed);
+    // Keep the paper's resolution-dependent anisotropy level even for
+    // downscaled quick runs.
+    scene.settings.maxAniso =
+        defaultMaxAniso(wl.width * opt.resolutionDivisor);
+    RenderingSimulator sim(cfg);
+    return sim.renderScene(scene);
+}
+
+std::vector<WorkloadResult>
+runSuite(const SimConfig &cfg, const SuiteOptions &opt)
+{
+    std::vector<WorkloadResult> out;
+    for (const Workload &wl : suiteWorkloads(opt)) {
+        WorkloadResult r;
+        r.workload = wl;
+        r.result = runWorkload(cfg, wl, opt);
+        if (opt.verbose) {
+            TEXPIM_INFORM(designName(cfg.design), " ", wl.label(), ": ",
+                          r.result.frame.frameCycles, " cycles, ",
+                          r.result.offChipTotalBytes, " off-chip bytes");
+        }
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / double(v.size());
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        TEXPIM_ASSERT(x > 0.0, "geomean needs positive values");
+        s += std::log(x);
+    }
+    return std::exp(s / double(v.size()));
+}
+
+ResultTable::ResultTable(std::string title,
+                         std::vector<std::string> row_labels)
+    : title_(std::move(title)), rows_(std::move(row_labels))
+{}
+
+void
+ResultTable::addColumn(const std::string &name,
+                       const std::vector<double> &vals)
+{
+    TEXPIM_ASSERT(vals.size() == rows_.size(),
+                  "column '", name, "' has ", vals.size(), " values for ",
+                  rows_.size(), " rows");
+    col_names_.push_back(name);
+    cols_.push_back(vals);
+}
+
+void
+ResultTable::print(std::ostream &os, int precision,
+                   bool geometric_mean) const
+{
+    os << "== " << title_ << " ==\n";
+
+    size_t label_w = 10;
+    for (const auto &r : rows_)
+        label_w = std::max(label_w, r.size());
+
+    os << std::left << std::setw(int(label_w) + 2) << "workload";
+    for (const auto &c : col_names_)
+        os << std::right << std::setw(std::max<int>(12, int(c.size()) + 2))
+           << c;
+    os << "\n";
+
+    os << std::fixed << std::setprecision(precision);
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        os << std::left << std::setw(int(label_w) + 2) << rows_[r];
+        for (size_t c = 0; c < cols_.size(); ++c)
+            os << std::right
+               << std::setw(std::max<int>(12, int(col_names_[c].size()) + 2))
+               << cols_[c][r];
+        os << "\n";
+    }
+
+    os << std::left << std::setw(int(label_w) + 2)
+       << (geometric_mean ? "geomean" : "average");
+    for (size_t c = 0; c < cols_.size(); ++c) {
+        double m = geometric_mean ? geomean(cols_[c]) : mean(cols_[c]);
+        os << std::right
+           << std::setw(std::max<int>(12, int(col_names_[c].size()) + 2))
+           << m;
+    }
+    os << "\n\n";
+}
+
+SuiteOptions
+parseSuiteArgs(int argc, char **argv)
+{
+    SuiteOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            opt.resolutionDivisor = 2;
+        } else if (std::strcmp(argv[i], "--verbose") == 0) {
+            opt.verbose = true;
+        } else if (std::strcmp(argv[i], "--frame") == 0 && i + 1 < argc) {
+            opt.frame = unsigned(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            opt.seed = u64(std::strtoull(argv[++i], nullptr, 0));
+        } else {
+            TEXPIM_FATAL("unknown argument '", argv[i],
+                         "' (try --quick, --frame N, --seed S, --verbose)");
+        }
+    }
+    return opt;
+}
+
+} // namespace texpim

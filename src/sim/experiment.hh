@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment-runner helpers shared by the bench binaries: run a design
+ * across the Table II workload suite, normalize against the baseline,
+ * and print paper-style result tables.
+ */
+
+#ifndef TEXPIM_SIM_EXPERIMENT_HH
+#define TEXPIM_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace texpim {
+
+/** One workload's result under one design. */
+struct WorkloadResult
+{
+    Workload workload{};
+    SimResult result{};
+};
+
+/** Options common to all experiments. */
+struct SuiteOptions
+{
+    unsigned frame = 3; //!< camera-path frame to render
+    u64 seed = 0x7e01d;
+    /** Optional downscale divisor for quick runs (1 = paper size). */
+    unsigned resolutionDivisor = 1;
+    bool verbose = false;
+};
+
+/** The workload list, optionally downscaled. */
+std::vector<Workload> suiteWorkloads(const SuiteOptions &opt);
+
+/** Run one design over the whole suite. */
+std::vector<WorkloadResult> runSuite(const SimConfig &cfg,
+                                     const SuiteOptions &opt);
+
+/** Run a single workload under a config. */
+SimResult runWorkload(const SimConfig &cfg, const Workload &wl,
+                      const SuiteOptions &opt);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &v);
+
+/** Geometric mean (for speedups). */
+double geomean(const std::vector<double> &v);
+
+/**
+ * Print a paper-style table: one row per workload, one column per
+ * series, plus a mean row.
+ */
+class ResultTable
+{
+  public:
+    ResultTable(std::string title, std::vector<std::string> row_labels);
+
+    void addColumn(const std::string &name, const std::vector<double> &vals);
+
+    /** Print with `precision` decimals; appends an average row. */
+    void print(std::ostream &os, int precision = 2,
+               bool geometric_mean = false) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> rows_;
+    std::vector<std::string> col_names_;
+    std::vector<std::vector<double>> cols_;
+};
+
+/** Parse common CLI flags: --quick (divide resolutions by 2 and use a
+ *  reduced suite), --frame N, --verbose. */
+SuiteOptions parseSuiteArgs(int argc, char **argv);
+
+} // namespace texpim
+
+#endif // TEXPIM_SIM_EXPERIMENT_HH

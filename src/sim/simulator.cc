@@ -1,0 +1,201 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+#include "gpu/host_texture_path.hh"
+
+namespace texpim {
+
+SimConfig
+SimConfig::fromConfig(const Config &cfg)
+{
+    SimConfig c;
+    std::string d = cfg.getString("design", "baseline");
+    if (d == "baseline")
+        c.design = Design::Baseline;
+    else if (d == "b-pim" || d == "bpim")
+        c.design = Design::BPim;
+    else if (d == "s-tfim" || d == "stfim")
+        c.design = Design::STfim;
+    else if (d == "a-tfim" || d == "atfim")
+        c.design = Design::ATfim;
+    else
+        TEXPIM_FATAL("unknown design '", d, "'");
+
+    c.angleThresholdRad =
+        float(cfg.getDouble("atfim.angle_threshold_rad",
+                            double(c.angleThresholdRad)));
+    c.disableAniso = cfg.getBool("disable_aniso", false);
+    c.gpu = GpuParams::fromConfig(cfg);
+    c.gddr5 = Gddr5Params::fromConfig(cfg);
+    c.hmc = HmcParams::fromConfig(cfg);
+    c.packets = PimPacketParams::fromConfig(cfg);
+    c.energy = EnergyParams::fromConfig(cfg);
+    return c;
+}
+
+RenderingSimulator::RenderingSimulator(const SimConfig &cfg) : cfg_(cfg)
+{
+    build();
+}
+
+RenderingSimulator::~RenderingSimulator() = default;
+
+void
+RenderingSimulator::build()
+{
+    gddr5_.reset();
+    hmc_.reset();
+    tex_path_.reset();
+    renderer_.reset();
+
+    switch (cfg_.design) {
+      case Design::Baseline:
+        gddr5_ = std::make_unique<Gddr5Memory>(cfg_.gddr5);
+        mem_ = gddr5_.get();
+        tex_path_ = std::make_unique<HostTexturePath>(cfg_.gpu, *mem_);
+        break;
+      case Design::BPim:
+        hmc_ = std::make_unique<HmcMemory>(cfg_.hmc);
+        mem_ = hmc_.get();
+        tex_path_ = std::make_unique<HostTexturePath>(cfg_.gpu, *mem_);
+        break;
+      case Design::STfim:
+        hmc_ = std::make_unique<HmcMemory>(cfg_.hmc);
+        mem_ = hmc_.get();
+        tex_path_ = std::make_unique<StfimTexturePath>(
+            cfg_.gpu, cfg_.mtu, cfg_.packets, *hmc_);
+        break;
+      case Design::ATfim: {
+        hmc_ = std::make_unique<HmcMemory>(cfg_.hmc);
+        mem_ = hmc_.get();
+        AtfimParams ap = cfg_.atfim;
+        ap.angleThresholdRad = cfg_.angleThresholdRad;
+        tex_path_ = std::make_unique<AtfimTexturePath>(cfg_.gpu, ap,
+                                                       cfg_.packets, *hmc_);
+        break;
+      }
+      default:
+        TEXPIM_PANIC("bad design");
+    }
+    renderer_ = std::make_unique<Renderer>(cfg_.gpu, *mem_, *tex_path_);
+}
+
+const MemorySystem &
+RenderingSimulator::memory() const
+{
+    TEXPIM_ASSERT(mem_ != nullptr, "simulator not built");
+    return *mem_;
+}
+
+const TexturePath &
+RenderingSimulator::texturePath() const
+{
+    TEXPIM_ASSERT(tex_path_ != nullptr, "simulator not built");
+    return *tex_path_;
+}
+
+namespace {
+
+u64
+counterOr0(const StatGroup &g, const std::string &name)
+{
+    return g.hasCounter(name) ? g.findCounter(name).value() : 0;
+}
+
+} // namespace
+
+SimResult
+RenderingSimulator::renderScene(const Scene &scene)
+{
+    // Cold state per frame, as the paper renders selected frames.
+    build();
+    return renderOnce(scene);
+}
+
+std::vector<SimResult>
+RenderingSimulator::renderSequence(const Workload &wl, unsigned num_frames,
+                                   unsigned start_frame, u64 seed)
+{
+    TEXPIM_ASSERT(num_frames > 0, "empty sequence");
+    build();
+    std::vector<SimResult> out;
+    out.reserve(num_frames);
+    for (unsigned f = 0; f < num_frames; ++f) {
+        // Per-frame accounting; functional cache/row state stays warm
+        // and per-frame timing restarts inside renderFrame().
+        mem_->resetStats();
+        tex_path_->resetStats();
+        Scene scene = buildGameScene(wl, start_frame + f, seed);
+        out.push_back(renderOnce(scene));
+    }
+    return out;
+}
+
+SimResult
+RenderingSimulator::renderOnce(const Scene &scene)
+{
+    Scene frame_scene = scene;
+    if (cfg_.disableAniso)
+        frame_scene.settings.maxAniso = 1;
+    // A-TFIM implements anisotropic filtering in memory with the
+    // reorderable equal-weight filter; the request stream must be a
+    // plain linear one regardless of what the scene asked for.
+    if (cfg_.design == Design::ATfim) {
+        if (frame_scene.settings.filterMode == FilterMode::Nearest)
+            frame_scene.settings.filterMode = FilterMode::Bilinear;
+        else if (frame_scene.settings.filterMode ==
+                 FilterMode::TrilinearEwa)
+            frame_scene.settings.filterMode = FilterMode::Trilinear;
+    }
+
+    SimResult r;
+    r.image = std::make_shared<FrameBuffer>(frame_scene.settings.width,
+                                            frame_scene.settings.height);
+    r.frame = renderer_->renderFrame(frame_scene, *r.image);
+    r.textureFilterCycles = r.frame.texLatencySum;
+
+    const TrafficMeter &traffic = mem_->offChipTraffic();
+    for (unsigned c = 0; c < kNumTrafficClasses; ++c)
+        r.offChipBytesByClass[c] = traffic.bytes(TrafficClass(c));
+    r.offChipTotalBytes = traffic.totalBytes();
+    r.textureTrafficBytes = traffic.textureBytes();
+
+    // Energy inputs from the pipeline and path statistics.
+    const StatGroup &ts = tex_path_->stats();
+    EnergyInputs in;
+    in.frameCycles = r.frame.frameCycles;
+    in.shaderAluOps =
+        r.frame.geom.verticesShaded * cfg_.gpu.vertexShaderCycles +
+        r.frame.fragmentsShaded * cfg_.gpu.fragmentShaderCycles;
+    in.texAluOps = counterOr0(ts, "addr_ops") + counterOr0(ts, "filter_ops") +
+                   counterOr0(ts, "host_filter_ops") +
+                   counterOr0(ts, "texel_gen_ops") +
+                   counterOr0(ts, "combine_ops");
+    in.l1Accesses = counterOr0(ts, "l1_hits") + counterOr0(ts, "l1_misses") +
+                    counterOr0(ts, "l1_angle_recalcs");
+    in.l2Accesses = counterOr0(ts, "l2_hits") + counterOr0(ts, "l2_misses") +
+                    counterOr0(ts, "l2_angle_recalcs");
+    in.ropCacheAccesses =
+        r.frame.fragmentsCovered + r.frame.fragmentsShaded;
+    in.offChipBytes = r.offChipTotalBytes;
+    in.usesHmc = cfg_.design != Design::Baseline;
+    if (cfg_.design == Design::STfim)
+        in.pimLogicW = cfg_.energy.stfimMtuW;
+    else if (cfg_.design == Design::ATfim)
+        in.pimLogicW = cfg_.energy.atfimLogicW;
+    if (in.usesHmc) {
+        in.dramBytes = hmc_->internalTraffic().totalBytes();
+    } else {
+        in.dramBytes = r.offChipTotalBytes;
+        in.rowActivates = counterOr0(mem_->stats(), "row_misses") +
+                          counterOr0(mem_->stats(), "row_conflicts");
+    }
+    r.energy = estimateEnergy(cfg_.energy, in);
+
+    if (auto *atfim = dynamic_cast<AtfimTexturePath *>(tex_path_.get()))
+        r.angleRecalcs = atfim->angleRecalcs();
+
+    return r;
+}
+
+} // namespace texpim

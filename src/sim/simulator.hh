@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Top-level rendering simulator: wires a GPU pipeline, a memory system
+ * and a texture-filtering path according to the selected design point,
+ * renders scenes, and collects the per-frame metrics the paper's
+ * figures are built from.
+ */
+
+#ifndef TEXPIM_SIM_SIMULATOR_HH
+#define TEXPIM_SIM_SIMULATOR_HH
+
+#include <array>
+#include <memory>
+
+#include "gpu/params.hh"
+#include "gpu/renderer.hh"
+#include "mem/gddr5.hh"
+#include "mem/hmc.hh"
+#include "pim/atfim_path.hh"
+#include "pim/packages.hh"
+#include "pim/stfim_path.hh"
+#include "power/energy_model.hh"
+#include "scene/game_profiles.hh"
+#include "sim/design.hh"
+
+namespace texpim {
+
+/** Everything Table I configures, for one design point. */
+struct SimConfig
+{
+    Design design = Design::Baseline;
+
+    /** A-TFIM camera-angle threshold; the paper defaults to 0.01 pi. */
+    float angleThresholdRad = kThreshold001Pi;
+
+    /** Force anisotropic filtering off (the Fig. 4 experiment). */
+    bool disableAniso = false;
+
+    GpuParams gpu{};
+    Gddr5Params gddr5{};
+    HmcParams hmc{};
+    MtuParams mtu{};
+    AtfimParams atfim{};
+    PimPacketParams packets{};
+    EnergyParams energy{};
+
+    /** Populate every sub-config from a key=value Config. */
+    static SimConfig fromConfig(const Config &cfg);
+};
+
+/** Results of rendering one frame under one design. */
+struct SimResult
+{
+    FrameStats frame{};
+
+    /** Texture-filtering cycles (sum of request latencies; ratios of
+     *  this quantity are the paper's "texture filtering speedup"). */
+    u64 textureFilterCycles = 0;
+
+    /** Off-chip bytes by traffic class (Fig. 2 / Fig. 12). */
+    std::array<u64, kNumTrafficClasses> offChipBytesByClass{};
+    u64 offChipTotalBytes = 0;
+    u64 textureTrafficBytes = 0; //!< texture + PIM packages (Fig. 12)
+
+    EnergyBreakdown energy{};
+    u64 angleRecalcs = 0; //!< A-TFIM threshold-forced recalculations
+
+    /** The rendered image (for PSNR in §VII-D). */
+    std::shared_ptr<FrameBuffer> image;
+};
+
+class RenderingSimulator
+{
+  public:
+    explicit RenderingSimulator(const SimConfig &cfg);
+    ~RenderingSimulator();
+
+    /** Render one frame of `scene` cold (fresh caches and memory
+     *  state), as the paper renders its selected frames. */
+    SimResult renderScene(const Scene &scene);
+
+    /**
+     * Render `num_frames` consecutive frames of a workload's camera
+     * path with *warm* state: texture caches, A-TFIM parent values and
+     * DRAM row state persist across frames while per-frame timing
+     * restarts. This exercises §V-C's inter-frame case — "parent
+     * texels from different frames have the same fetching address but
+     * different camera angles" — which cold single frames cannot.
+     */
+    std::vector<SimResult> renderSequence(const Workload &wl,
+                                          unsigned num_frames,
+                                          unsigned start_frame = 0,
+                                          u64 seed = 0x7e01d);
+
+    const SimConfig &config() const { return cfg_; }
+
+    /** The memory system of the last renderScene call (for stats). */
+    const MemorySystem &memory() const;
+    /** The texture path of the last renderScene call. */
+    const TexturePath &texturePath() const;
+
+    /** Renderer statistics of the last renderScene call. */
+    StatGroup &rendererStats() { return renderer_->stats(); }
+
+  private:
+    void build();
+
+    /** Render one frame against the currently built pipeline (shared
+     *  by the cold and warm entry points). */
+    SimResult renderOnce(const Scene &scene);
+
+    SimConfig cfg_;
+    std::unique_ptr<Gddr5Memory> gddr5_;
+    std::unique_ptr<HmcMemory> hmc_;
+    std::unique_ptr<TexturePath> tex_path_;
+    std::unique_ptr<Renderer> renderer_;
+    MemorySystem *mem_ = nullptr;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_SIM_SIMULATOR_HH

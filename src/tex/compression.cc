@@ -1,0 +1,170 @@
+#include "tex/compression.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+namespace {
+
+int
+colorDistance2(Rgba8 a, Rgba8 b)
+{
+    int dr = int(a.r) - b.r;
+    int dg = int(a.g) - b.g;
+    int db = int(a.b) - b.b;
+    return dr * dr + dg * dg + db * db;
+}
+
+} // namespace
+
+u16
+packRgb565(Rgba8 c)
+{
+    return u16(((c.r >> 3) << 11) | ((c.g >> 2) << 5) | (c.b >> 3));
+}
+
+Rgba8
+unpackRgb565(u16 v)
+{
+    u8 r = u8((v >> 11) & 0x1f);
+    u8 g = u8((v >> 5) & 0x3f);
+    u8 b = u8(v & 0x1f);
+    // Standard bit replication for full-range expansion.
+    return {u8((r << 3) | (r >> 2)), u8((g << 2) | (g >> 4)),
+            u8((b << 3) | (b >> 2)), 255};
+}
+
+void
+bc1Palette(const Bc1Block &b, Rgba8 out[4])
+{
+    Rgba8 c0 = unpackRgb565(b.color0);
+    Rgba8 c1 = unpackRgb565(b.color1);
+    out[0] = c0;
+    out[1] = c1;
+    // Opaque four-color mode: 2/3-1/3 interpolants.
+    out[2] = {u8((2 * c0.r + c1.r) / 3), u8((2 * c0.g + c1.g) / 3),
+              u8((2 * c0.b + c1.b) / 3), 255};
+    out[3] = {u8((c0.r + 2 * c1.r) / 3), u8((c0.g + 2 * c1.g) / 3),
+              u8((c0.b + 2 * c1.b) / 3), 255};
+}
+
+Bc1Block
+compressBc1Block(const Rgba8 texels[16])
+{
+    // Max-diameter endpoint selection.
+    int best = -1;
+    unsigned bi = 0, bj = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        for (unsigned j = i + 1; j < 16; ++j) {
+            int d = colorDistance2(texels[i], texels[j]);
+            if (d > best) {
+                best = d;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+
+    Bc1Block b;
+    b.color0 = packRgb565(texels[bi]);
+    b.color1 = packRgb565(texels[bj]);
+    // BC1's opaque mode requires color0 > color1 numerically.
+    if (b.color0 < b.color1)
+        std::swap(b.color0, b.color1);
+
+    Rgba8 palette[4];
+    bc1Palette(b, palette);
+
+    u32 idx = 0;
+    for (unsigned t = 0; t < 16; ++t) {
+        int best_d = colorDistance2(texels[t], palette[0]);
+        u32 best_p = 0;
+        for (u32 p = 1; p < 4; ++p) {
+            int d = colorDistance2(texels[t], palette[p]);
+            if (d < best_d) {
+                best_d = d;
+                best_p = p;
+            }
+        }
+        idx |= best_p << (2 * t);
+    }
+    b.indices = idx;
+    return b;
+}
+
+void
+decompressBc1Block(const Bc1Block &b, Rgba8 out[16])
+{
+    Rgba8 palette[4];
+    bc1Palette(b, palette);
+    for (unsigned t = 0; t < 16; ++t)
+        out[t] = palette[(b.indices >> (2 * t)) & 3];
+}
+
+std::vector<Bc1Block>
+compressBc1(const TextureImage &img)
+{
+    unsigned bw = (img.width() + 3) / 4;
+    unsigned bh = (img.height() + 3) / 4;
+    std::vector<Bc1Block> blocks;
+    blocks.reserve(size_t(bw) * bh);
+
+    for (unsigned by = 0; by < bh; ++by) {
+        for (unsigned bx = 0; bx < bw; ++bx) {
+            Rgba8 tile[16];
+            for (unsigned y = 0; y < 4; ++y) {
+                for (unsigned x = 0; x < 4; ++x) {
+                    unsigned sx = std::min(bx * 4 + x, img.width() - 1);
+                    unsigned sy = std::min(by * 4 + y, img.height() - 1);
+                    tile[4 * y + x] = img.texel(sx, sy);
+                }
+            }
+            blocks.push_back(compressBc1Block(tile));
+        }
+    }
+    return blocks;
+}
+
+TextureImage
+decompressBc1(const std::vector<Bc1Block> &blocks, unsigned width,
+              unsigned height)
+{
+    unsigned bw = (width + 3) / 4;
+    unsigned bh = (height + 3) / 4;
+    TEXPIM_ASSERT(blocks.size() == size_t(bw) * bh,
+                  "block count ", blocks.size(), " does not cover ", width,
+                  "x", height);
+
+    TextureImage img(width, height);
+    for (unsigned by = 0; by < bh; ++by) {
+        for (unsigned bx = 0; bx < bw; ++bx) {
+            Rgba8 tile[16];
+            decompressBc1Block(blocks[size_t(by) * bw + bx], tile);
+            for (unsigned y = 0; y < 4; ++y) {
+                for (unsigned x = 0; x < 4; ++x) {
+                    unsigned dx = bx * 4 + x;
+                    unsigned dy = by * 4 + y;
+                    if (dx < width && dy < height)
+                        img.setTexel(dx, dy, tile[4 * y + x]);
+                }
+            }
+        }
+    }
+    return img;
+}
+
+TextureImage
+bc1RoundTrip(const TextureImage &img)
+{
+    return decompressBc1(compressBc1(img), img.width(), img.height());
+}
+
+u64
+bc1Bytes(unsigned width, unsigned height)
+{
+    return u64((width + 3) / 4) * ((height + 3) / 4) * sizeof(Bc1Block);
+}
+
+} // namespace texpim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * BC1 (DXT1-class) block texture compression.
+ *
+ * The paper observes that modern GPUs lean on mipmapping and texture
+ * compression to tame texture bandwidth (§II-C) and positions its PIM
+ * designs as orthogonal to compression (§VIII). This codec lets the
+ * simulator quantify that: 4x4 texel blocks stored in 8 bytes (two
+ * RGB565 endpoints plus 16 two-bit palette indices), an 8:1 reduction
+ * over RGBA8, fetched at block granularity.
+ *
+ * The encoder picks the two most distant colors of a block as
+ * endpoints (a light-weight max-diameter heuristic) and maps every
+ * texel to the nearest of the four palette entries — the standard
+ * quality/throughput trade-off of real-time encoders.
+ */
+
+#ifndef TEXPIM_TEX_COMPRESSION_HH
+#define TEXPIM_TEX_COMPRESSION_HH
+
+#include <vector>
+
+#include "tex/texture.hh"
+
+namespace texpim {
+
+/** One 8-byte BC1 block: 4x4 texels. */
+struct Bc1Block
+{
+    u16 color0 = 0; //!< RGB565 endpoint 0
+    u16 color1 = 0; //!< RGB565 endpoint 1
+    u32 indices = 0; //!< 16 x 2-bit palette indices, texel (x,y) at
+                     //!< bit position 2*(4*y + x)
+};
+
+static_assert(sizeof(Bc1Block) == 8, "BC1 blocks are 8 bytes");
+
+/** Pack an 8:8:8 color to RGB565. */
+u16 packRgb565(Rgba8 c);
+
+/** Unpack RGB565 to 8:8:8 (alpha forced opaque). */
+Rgba8 unpackRgb565(u16 v);
+
+/** The 4-entry palette a BC1 block decodes through. */
+void bc1Palette(const Bc1Block &b, Rgba8 out[4]);
+
+/** Compress one 4x4 tile (row-major 16 texels). */
+Bc1Block compressBc1Block(const Rgba8 texels[16]);
+
+/** Decompress a block into 16 row-major texels. */
+void decompressBc1Block(const Bc1Block &b, Rgba8 out[16]);
+
+/**
+ * Compress a whole image (dimensions are rounded up to 4x4 tiles by
+ * edge clamping) and return the block grid in row-major block order.
+ */
+std::vector<Bc1Block> compressBc1(const TextureImage &img);
+
+/** Decompress a block grid back to an image of the given size. */
+TextureImage decompressBc1(const std::vector<Bc1Block> &blocks,
+                           unsigned width, unsigned height);
+
+/**
+ * Produce the BC1 round-trip of an image: what the sampler actually
+ * sees when the texture is stored compressed.
+ */
+TextureImage bc1RoundTrip(const TextureImage &img);
+
+/** Compressed size in bytes of a width x height image. */
+u64 bc1Bytes(unsigned width, unsigned height);
+
+} // namespace texpim
+
+#endif // TEXPIM_TEX_COMPRESSION_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Functional texture filtering: nearest / bilinear / trilinear plus
+ * anisotropic filtering, in both the conventional order (bilinear →
+ * trilinear → anisotropic, Fig. 3) and the A-TFIM-decomposed order
+ * (anisotropic first, §V-B), which splits every sample into *parent
+ * texels* computed in the HMC from *child texels*.
+ *
+ * Anisotropic footprint samples are spaced at integer texel offsets
+ * along the major axis. That choice keeps the bilinear weights of all
+ * footprint samples identical to the center sample's, which is what
+ * makes the paper's Eq. (3) reordering hold exactly (up to float
+ * rounding) — see DESIGN.md.
+ */
+
+#ifndef TEXPIM_TEX_SAMPLER_HH
+#define TEXPIM_TEX_SAMPLER_HH
+
+#include <vector>
+
+#include "geom/color.hh"
+#include "geom/vec.hh"
+#include "tex/texture.hh"
+
+namespace texpim {
+
+enum class FilterMode : u8 {
+    Nearest,
+    Bilinear,
+    Trilinear,
+    /**
+     * Trilinear with Gaussian-weighted anisotropic samples (an EWA
+     * [Mavridis & Papaioannou] reference). Equation (3)'s reordering
+     * proof requires *equal* sample weights, so A-TFIM cannot execute
+     * this mode — it exists as the quality yardstick the ablation
+     * benches compare the reorderable box filter against.
+     */
+    TrilinearEwa,
+};
+
+/** Texture coordinates plus screen-space derivatives for one fragment. */
+struct SampleCoords
+{
+    Vec2 uv{};  //!< normalized texture coordinates
+    Vec2 ddx{}; //!< d(uv)/dx across one pixel
+    Vec2 ddy{}; //!< d(uv)/dy across one pixel
+    float cameraAngle = 0.0f; //!< view/surface angle in radians (§V-C)
+};
+
+/** One texel fetch in the conventional filtering order. */
+struct TexFetch
+{
+    Addr addr;
+    u8 level;
+};
+
+/** Result of conventional (baseline) filtering. */
+struct SampleResult
+{
+    ColorF color{};
+    unsigned anisoRatio = 1;        //!< N (1 = isotropic)
+    std::vector<TexFetch> fetches;  //!< every texel touched, in order
+    unsigned filterOps = 0;         //!< weighted-MAC count for energy
+
+    void
+    clear()
+    {
+        color = ColorF{};
+        anisoRatio = 1;
+        fetches.clear();
+        filterOps = 0;
+    }
+};
+
+/** A parent texel and the child texels that approximate it (§V-A). */
+struct ParentTexel
+{
+    Addr addr;                  //!< address with anisotropic filtering off
+    ColorF value{};             //!< anisotropic average of the children
+    u8 level;
+    std::vector<Addr> children; //!< child texel addresses in the HMC
+};
+
+/** Result of A-TFIM-decomposed filtering. */
+struct DecomposedSampleResult
+{
+    ColorF color{};
+    unsigned anisoRatio = 1;
+    std::vector<ParentTexel> parents; //!< 4 (bilinear) or 8 (trilinear)
+    unsigned hostFilterOps = 0; //!< bilinear/trilinear MACs on the GPU
+    unsigned pimFilterOps = 0;  //!< averaging MACs in the HMC logic layer
+
+    // Recombination weights, so a caller substituting cached (possibly
+    // stale) parent values can redo the host-side bilinear/trilinear:
+    // parents are ordered corners (0,0),(1,0),(0,1),(1,1) per level.
+    unsigned numLevels = 1;
+    float fx[2] = {0.0f, 0.0f}; //!< bilinear x-weight per level
+    float fy[2] = {0.0f, 0.0f}; //!< bilinear y-weight per level
+    float levelWeight = 0.0f;   //!< trilinear blend toward level 1
+
+    /** Host-side combine of four parent values per level. */
+    ColorF
+    combine(const ColorF *parent_values) const
+    {
+        ColorF lv[2];
+        for (unsigned l = 0; l < numLevels; ++l) {
+            const ColorF *c = parent_values + l * 4;
+            lv[l] = lerp(lerp(c[0], c[1], fx[l]), lerp(c[2], c[3], fx[l]),
+                         fy[l]);
+        }
+        return numLevels == 2 ? lerp(lv[0], lv[1], levelWeight) : lv[0];
+    }
+
+    void
+    clear()
+    {
+        color = ColorF{};
+        anisoRatio = 1;
+        parents.clear();
+        hostFilterOps = 0;
+        pimFilterOps = 0;
+        numLevels = 1;
+        fx[0] = fx[1] = fy[0] = fy[1] = 0.0f;
+        levelWeight = 0.0f;
+    }
+};
+
+/** LOD and anisotropy derived from the screen-space derivatives. */
+struct LodInfo
+{
+    unsigned anisoRatio = 1; //!< N, clamped to the max anisotropic level
+    float lambda = 0.0f;     //!< mip LOD after the aniso division
+    Vec2 majorDirUv{};       //!< unit major-axis direction in uv space
+    float majorLenTexels = 0.0f; //!< major-axis length in level-0 texels
+
+    /** Footprint span in chosen-level texels the N samples spread
+     *  over; follows the (quantized) camera angle continuously so
+     *  that cross-angle A-TFIM reuse shows the true filtering error. */
+    float footprintSpan = 1.0f;
+};
+
+/** Compute LOD/anisotropy. `max_aniso` = 1 disables anisotropic
+ *  filtering (the paper's "aniso disabled" experiments). */
+LodInfo computeLod(const Texture &tex, const SampleCoords &coords,
+                   unsigned max_aniso);
+
+/**
+ * Conventional filtering (Fig. 3 order). Appends every texel fetch to
+ * `out.fetches`; `out` is an in/out parameter so hot loops can reuse
+ * its buffers.
+ */
+void sampleConventional(const Texture &tex, const SampleCoords &coords,
+                        FilterMode mode, unsigned max_aniso,
+                        SampleResult &out);
+
+/**
+ * A-TFIM-decomposed filtering (§V): anisotropic averaging first (child
+ * texels → parent texels, in the HMC), then bilinear/trilinear over the
+ * parent texels (on the host GPU). Produces the same color as
+ * sampleConventional up to float rounding — the property §V-B proves.
+ */
+void sampleDecomposed(const Texture &tex, const SampleCoords &coords,
+                      FilterMode mode, unsigned max_aniso,
+                      DecomposedSampleResult &out);
+
+} // namespace texpim
+
+#endif // TEXPIM_TEX_SAMPLER_HH

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "cache/outstanding.hh"
+
+namespace texpim {
+namespace {
+
+TEST(OutstandingMisses, MergeInheritsCompletion)
+{
+    OutstandingMisses o;
+    EXPECT_EQ(o.lookup(0x100, 10), kNeverCycle);
+    o.insert(0x100, 50);
+    EXPECT_EQ(o.lookup(0x100, 20), 50u);
+    EXPECT_EQ(o.merges(), 1u);
+    EXPECT_EQ(o.misses(), 1u);
+}
+
+TEST(OutstandingMisses, CompletedEntryNoLongerMerges)
+{
+    OutstandingMisses o;
+    o.insert(0x100, 50);
+    EXPECT_EQ(o.lookup(0x100, 50), kNeverCycle); // exactly at completion
+    EXPECT_EQ(o.lookup(0x100, 60), kNeverCycle);
+}
+
+TEST(OutstandingMisses, DistinctLinesIndependent)
+{
+    OutstandingMisses o;
+    o.insert(0x100, 50);
+    o.insert(0x200, 70);
+    EXPECT_EQ(o.lookup(0x200, 0), 70u);
+    EXPECT_EQ(o.lookup(0x300, 0), kNeverCycle);
+}
+
+TEST(OutstandingMisses, ClearEmpties)
+{
+    OutstandingMisses o;
+    o.insert(0x100, 50);
+    o.clear();
+    EXPECT_EQ(o.lookup(0x100, 0), kNeverCycle);
+    EXPECT_EQ(o.inFlight(), 0u);
+}
+
+TEST(OutstandingMisses, PruneEventuallyDropsStaleEntries)
+{
+    OutstandingMisses o;
+    for (Addr a = 0; a < 100; ++a)
+        o.insert(a * 64, 10);
+    // Drive enough lookups past the amortized-prune interval.
+    for (int i = 0; i < 5000; ++i)
+        (void)o.lookup(0xdead'0000, 1000);
+    EXPECT_LT(o.inFlight(), 100u);
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "cache/tag_cache.hh"
+
+namespace texpim {
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+CacheParams
+smallCache()
+{
+    CacheParams p;
+    p.sizeBytes = 1024; // 16 lines
+    p.ways = 4;         // 4 sets
+    p.lineBytes = 64;
+    return p;
+}
+
+TEST(TagCache, MissThenHit)
+{
+    TagCache c("l1", smallCache());
+    EXPECT_EQ(c.access(0x100), CacheOutcome::Miss);
+    EXPECT_EQ(c.access(0x100), CacheOutcome::Hit);
+    EXPECT_EQ(c.access(0x13f), CacheOutcome::Hit); // same 64 B line
+    EXPECT_EQ(c.access(0x140), CacheOutcome::Miss); // next line
+}
+
+TEST(TagCache, LruEviction)
+{
+    CacheParams p = smallCache();
+    TagCache c("l1", p);
+    // 4 sets -> addresses with the same (addr/64)%4 collide.
+    // Set 0: lines at 0, 256, 512, ... (stride 256).
+    for (Addr i = 0; i < 4; ++i)
+        EXPECT_EQ(c.access(i * 256), CacheOutcome::Miss);
+    // Touch line 0 so line 256 becomes LRU.
+    EXPECT_EQ(c.access(0), CacheOutcome::Hit);
+    // A 5th line evicts the LRU (256), not 0.
+    EXPECT_EQ(c.access(4 * 256), CacheOutcome::Miss);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(256));
+}
+
+TEST(TagCache, HitRateAccounting)
+{
+    TagCache c("l1", smallCache());
+    c.access(0x0);
+    c.access(0x0);
+    c.access(0x0);
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_NEAR(c.hitRate(), 2.0 / 3.0, 1e-9);
+    c.resetStats();
+    EXPECT_EQ(c.accesses(), 0u);
+}
+
+TEST(TagCache, InvalidateAllForcesMisses)
+{
+    TagCache c("l1", smallCache());
+    c.access(0x0);
+    c.invalidateAll();
+    EXPECT_EQ(c.access(0x0), CacheOutcome::Miss);
+}
+
+TEST(TagCache, AngleWithinThresholdHits)
+{
+    TagCache c("l1", smallCache());
+    float thresh = 0.01f * kPi; // paper default: 1.8 degrees
+    EXPECT_EQ(c.accessAngled(0x0, 0.5f, thresh), CacheOutcome::Miss);
+    // Same angle: hit.
+    EXPECT_EQ(c.accessAngled(0x0, 0.5f, thresh), CacheOutcome::Hit);
+    // 1 degree away: within 1.8-degree threshold.
+    EXPECT_EQ(c.accessAngled(0x0, 0.5f + 1.0f * kPi / 180.0f, thresh),
+              CacheOutcome::Hit);
+}
+
+TEST(TagCache, AnglePastThresholdRecalculates)
+{
+    TagCache c("l1", smallCache());
+    float thresh = 0.01f * kPi;
+    c.accessAngled(0x0, 0.2f, thresh);
+    // 10 degrees away: past the 1.8-degree threshold.
+    float far = 0.2f + 10.0f * kPi / 180.0f;
+    EXPECT_EQ(c.accessAngled(0x0, far, thresh), CacheOutcome::AngleMiss);
+    EXPECT_EQ(c.angleMisses(), 1u);
+    // The stored angle was refreshed, so repeating the access hits.
+    EXPECT_EQ(c.accessAngled(0x0, far, thresh), CacheOutcome::Hit);
+}
+
+TEST(TagCache, NegativeThresholdNeverRecalculates)
+{
+    // The paper's A-TFIM-no configuration: reuse regardless of angle.
+    TagCache c("l1", smallCache());
+    c.accessAngled(0x0, 0.0f, -1.0f);
+    EXPECT_EQ(c.accessAngled(0x0, 1.5f, -1.0f), CacheOutcome::Hit);
+    EXPECT_EQ(c.angleMisses(), 0u);
+}
+
+TEST(TagCache, LargerThresholdNeverRecalculatesMore)
+{
+    // Property: recalculation count is monotonically non-increasing in
+    // the threshold.
+    const float angles[] = {0.1f, 0.15f, 0.5f, 0.52f, 1.2f, 0.11f, 0.5f};
+    u64 prev_recalcs = ~0ull;
+    for (float thresh : {0.005f * kPi, 0.01f * kPi, 0.05f * kPi, 0.1f * kPi}) {
+        TagCache c("l1", smallCache());
+        for (float a : angles)
+            c.accessAngled(0x0, a, thresh);
+        EXPECT_LE(c.angleMisses(), prev_recalcs);
+        prev_recalcs = c.angleMisses();
+    }
+}
+
+TEST(AngleQuantization, OneDegreeResolution)
+{
+    float deg = kPi / 180.0f;
+    EXPECT_EQ(quantizeAngle(0.0f), 0);
+    EXPECT_EQ(quantizeAngle(10.0f * deg), 10);
+    EXPECT_EQ(quantizeAngle(89.6f * deg), 90);
+    // 7-bit clamp.
+    EXPECT_LE(quantizeAngle(179.0f * deg), 127);
+    // Round trip within half a degree for in-range codes.
+    for (int d = 0; d < 128; d += 13) {
+        float rad = dequantizeAngle(u8(d));
+        EXPECT_EQ(quantizeAngle(rad), d);
+    }
+}
+
+TEST(TagCacheDeath, NonPowerOfTwoGeometryPanics)
+{
+    CacheParams p;
+    p.sizeBytes = 1000; // not a power-of-two line multiple
+    p.ways = 3;
+    p.lineBytes = 64;
+    EXPECT_DEATH({ TagCache c("bad", p); }, "power of two");
+}
+
+} // namespace
+} // namespace texpim

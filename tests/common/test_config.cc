@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+namespace texpim {
+namespace {
+
+TEST(Config, SetAndGetTyped)
+{
+    Config c;
+    c.setInt("n", 42);
+    c.setDouble("pi", 3.5);
+    c.setBool("flag", true);
+    c.set("name", "doom3");
+    EXPECT_EQ(c.getInt("n"), 42);
+    EXPECT_DOUBLE_EQ(c.getDouble("pi"), 3.5);
+    EXPECT_TRUE(c.getBool("flag"));
+    EXPECT_EQ(c.getString("name"), "doom3");
+}
+
+TEST(Config, DefaultsWhenMissing)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("absent", 7), 7);
+    EXPECT_DOUBLE_EQ(c.getDouble("absent", 1.5), 1.5);
+    EXPECT_FALSE(c.getBool("absent", false));
+    EXPECT_EQ(c.getString("absent", "x"), "x");
+}
+
+TEST(Config, ParseItemTrimsWhitespace)
+{
+    Config c;
+    c.parseItem("  key =  value with spaces  ");
+    EXPECT_EQ(c.getString("key"), "value with spaces");
+}
+
+TEST(Config, ParseTextSkipsCommentsAndBlanks)
+{
+    Config c;
+    c.parseText("# header comment\n"
+                "a = 1\n"
+                "\n"
+                "b = 2 # trailing comment\n");
+    EXPECT_EQ(c.getInt("a"), 1);
+    EXPECT_EQ(c.getInt("b"), 2);
+    EXPECT_EQ(c.keys().size(), 2u);
+}
+
+TEST(Config, BooleanSpellings)
+{
+    Config c;
+    for (const char *t : {"true", "1", "yes", "on", "TRUE", "Yes"}) {
+        c.set("k", t);
+        EXPECT_TRUE(c.getBool("k")) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off", "OFF"}) {
+        c.set("k", f);
+        EXPECT_FALSE(c.getBool("k")) << f;
+    }
+}
+
+TEST(Config, MergeFromOverrides)
+{
+    Config a, b;
+    a.setInt("x", 1);
+    a.setInt("y", 2);
+    b.setInt("y", 20);
+    b.setInt("z", 30);
+    a.mergeFrom(b);
+    EXPECT_EQ(a.getInt("x"), 1);
+    EXPECT_EQ(a.getInt("y"), 20);
+    EXPECT_EQ(a.getInt("z"), 30);
+}
+
+TEST(Config, HexIntegers)
+{
+    Config c;
+    c.set("addr", "0x1000");
+    EXPECT_EQ(c.getInt("addr"), 0x1000);
+}
+
+TEST(ConfigDeath, MissingRequiredKeyIsFatal)
+{
+    Config c;
+    EXPECT_EXIT({ (void)c.getInt("nope"); }, testing::ExitedWithCode(1),
+                "missing required config key");
+}
+
+TEST(ConfigDeath, MalformedNumberIsFatal)
+{
+    Config c;
+    c.set("n", "abc");
+    EXPECT_EXIT({ (void)c.getInt("n"); }, testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(ConfigDeath, MalformedItemIsFatal)
+{
+    Config c;
+    EXPECT_EXIT({ c.parseItem("no-equals-sign"); },
+                testing::ExitedWithCode(1), "malformed config item");
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace texpim {
+namespace {
+
+TEST(Logging, WarnIncrementsCounter)
+{
+    setLogQuiet(true);
+    unsigned long before = warnCount();
+    TEXPIM_WARN("test warning ", 42);
+    EXPECT_EQ(warnCount(), before + 1);
+    setLogQuiet(false);
+}
+
+TEST(Logging, ConcatFormatsMixedArguments)
+{
+    EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH({ TEXPIM_PANIC("boom ", 1); }, "panic: boom 1");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT({ TEXPIM_FATAL("bad config"); },
+                testing::ExitedWithCode(1), "fatal: bad config");
+}
+
+TEST(LoggingDeath, AssertFiresOnFalse)
+{
+    EXPECT_DEATH({ TEXPIM_ASSERT(1 == 2, "math broke"); },
+                 "assertion '1 == 2' failed: math broke");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    TEXPIM_ASSERT(2 + 2 == 4, "never shown");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace texpim

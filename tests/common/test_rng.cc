@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace texpim {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    bool diverged = false;
+    for (int i = 0; i < 10 && !diverged; ++i)
+        diverged = a.next() != b.next();
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanRoughlyHalf)
+{
+    Rng r(9);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        i64 v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ZeroSeedIsRemapped)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+} // namespace
+} // namespace texpim

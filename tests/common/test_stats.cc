@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace texpim {
+namespace {
+
+TEST(StatCounter, IncrementAndAdd)
+{
+    StatCounter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatAverage, MeanOverSamples)
+{
+    StatAverage a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(StatHistogram, BucketsAndSaturation)
+{
+    StatHistogram h(0.0, 10.0, 5);
+    h.sample(0.5);   // bucket 0
+    h.sample(3.0);   // bucket 1
+    h.sample(9.9);   // bucket 4
+    h.sample(-5.0);  // saturates into bucket 0
+    h.sample(100.0); // saturates into bucket 4
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 2u);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_DOUBLE_EQ(h.min(), -5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(StatGroup, RegistrationIsStableAndNamed)
+{
+    StatGroup g("gpu");
+    StatCounter &c1 = g.counter("frags");
+    c1 += 5;
+    StatCounter &c2 = g.counter("frags");
+    EXPECT_EQ(&c1, &c2);
+    EXPECT_EQ(g.findCounter("frags").value(), 5u);
+    EXPECT_TRUE(g.hasCounter("frags"));
+    EXPECT_FALSE(g.hasCounter("absent"));
+}
+
+TEST(StatGroup, ResetAllClearsEverything)
+{
+    StatGroup g("x");
+    g.counter("c") += 3;
+    g.average("a").sample(1.0);
+    g.histogram("h", 0, 1, 2).sample(0.5);
+    g.resetAll();
+    EXPECT_EQ(g.findCounter("c").value(), 0u);
+    EXPECT_EQ(g.average("a").count(), 0u);
+    EXPECT_EQ(g.histogram("h", 0, 1, 2).samples(), 0u);
+}
+
+TEST(StatGroup, DumpContainsQualifiedNames)
+{
+    StatGroup g("mem");
+    g.counter("reads") += 7;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("mem.reads"), std::string::npos);
+    EXPECT_NE(os.str().find("7"), std::string::npos);
+}
+
+TEST(StatGroupDeath, FindMissingCounterPanics)
+{
+    StatGroup g("x");
+    EXPECT_DEATH({ (void)g.findCounter("nope"); }, "no counter");
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace texpim {
+namespace {
+
+TEST(Units, GbpsToBytesPerCycleAtOneGHz)
+{
+    // 128 GB/s at a 1 GHz core clock is 128 bytes per cycle.
+    EXPECT_DOUBLE_EQ(gbpsToBytesPerCycle(128.0), 128.0);
+    EXPECT_DOUBLE_EQ(gbpsToBytesPerCycle(320.0), 320.0);
+}
+
+TEST(Units, RoundTrip)
+{
+    EXPECT_DOUBLE_EQ(bytesPerCycleToGbps(gbpsToBytesPerCycle(512.0)), 512.0);
+}
+
+TEST(Units, SerializationRoundsUp)
+{
+    EXPECT_EQ(serializationCycles(64, 16.0), 4u);
+    EXPECT_EQ(serializationCycles(65, 16.0), 5u);
+    EXPECT_EQ(serializationCycles(1, 16.0), 1u); // min_cycles floor
+    EXPECT_EQ(serializationCycles(1, 16.0, 3), 3u);
+}
+
+TEST(Units, CapacityConstants)
+{
+    EXPECT_EQ(KiB, 1024u);
+    EXPECT_EQ(MiB, 1024u * 1024u);
+    EXPECT_EQ(GiB, 1024ull * 1024u * 1024u);
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "geom/color.hh"
+
+namespace texpim {
+namespace {
+
+TEST(Color, PackUnpackRoundTrip)
+{
+    Rgba8 c{10, 100, 200, 255};
+    Rgba8 r = packColor(unpackColor(c));
+    EXPECT_EQ(r, c);
+}
+
+TEST(Color, PackClampsOutOfRange)
+{
+    Rgba8 r = packColor(ColorF{-0.5f, 2.0f, 0.5f, 1.0f});
+    EXPECT_EQ(r.r, 0);
+    EXPECT_EQ(r.g, 255);
+    EXPECT_EQ(r.b, 128);
+}
+
+TEST(Color, LerpMidpoint)
+{
+    ColorF a{0, 0, 0, 0}, b{1, 1, 1, 1};
+    ColorF m = lerp(a, b, 0.25f);
+    EXPECT_FLOAT_EQ(m.r, 0.25f);
+    EXPECT_FLOAT_EQ(m.a, 0.25f);
+}
+
+TEST(Color, ModulateMultiplies)
+{
+    ColorF a{0.5f, 1.0f, 0.25f, 1.0f};
+    ColorF b{0.5f, 0.5f, 1.0f, 1.0f};
+    ColorF m = a * b;
+    EXPECT_FLOAT_EQ(m.r, 0.25f);
+    EXPECT_FLOAT_EQ(m.g, 0.5f);
+    EXPECT_FLOAT_EQ(m.b, 0.25f);
+}
+
+TEST(Color, ClampedBoundsComponents)
+{
+    ColorF c{-1.0f, 0.5f, 3.0f, 1.0f};
+    ColorF k = c.clamped();
+    EXPECT_FLOAT_EQ(k.r, 0.0f);
+    EXPECT_FLOAT_EQ(k.g, 0.5f);
+    EXPECT_FLOAT_EQ(k.b, 1.0f);
+}
+
+TEST(Color, FloatToByteRounds)
+{
+    EXPECT_EQ(floatToByte(0.0f), 0);
+    EXPECT_EQ(floatToByte(1.0f), 255);
+    EXPECT_EQ(floatToByte(0.5f), 128); // round(127.5) = 128
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/mat4.hh"
+
+namespace texpim {
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+TEST(Mat4, IdentityLeavesVectorsAlone)
+{
+    Mat4 m;
+    Vec4 v{1, 2, 3, 1};
+    Vec4 r = m * v;
+    EXPECT_FLOAT_EQ(r.x, 1.0f);
+    EXPECT_FLOAT_EQ(r.y, 2.0f);
+    EXPECT_FLOAT_EQ(r.z, 3.0f);
+    EXPECT_FLOAT_EQ(r.w, 1.0f);
+}
+
+TEST(Mat4, TranslatePoint)
+{
+    Mat4 t = Mat4::translate({10, 20, 30});
+    Vec3 p = t.transformPoint({1, 1, 1});
+    EXPECT_FLOAT_EQ(p.x, 11.0f);
+    EXPECT_FLOAT_EQ(p.y, 21.0f);
+    EXPECT_FLOAT_EQ(p.z, 31.0f);
+}
+
+TEST(Mat4, TranslateDoesNotMoveDirections)
+{
+    Mat4 t = Mat4::translate({10, 20, 30});
+    Vec3 d = t.transformDir({0, 0, 1});
+    EXPECT_FLOAT_EQ(d.x, 0.0f);
+    EXPECT_FLOAT_EQ(d.z, 1.0f);
+}
+
+TEST(Mat4, RotateYQuarterTurn)
+{
+    Mat4 r = Mat4::rotateY(kPi / 2.0f);
+    Vec3 v = r.transformDir({1, 0, 0});
+    EXPECT_NEAR(v.x, 0.0f, 1e-6f);
+    EXPECT_NEAR(v.z, -1.0f, 1e-6f);
+}
+
+TEST(Mat4, CompositionOrder)
+{
+    // Translate then scale vs. scale then translate differ.
+    Mat4 ts = Mat4::scale({2, 2, 2}) * Mat4::translate({1, 0, 0});
+    Vec3 p = ts.transformPoint({0, 0, 0});
+    EXPECT_FLOAT_EQ(p.x, 2.0f); // translate applied first
+}
+
+TEST(Mat4, LookAtMapsCenterToNegativeZ)
+{
+    Mat4 v = Mat4::lookAt({0, 0, 5}, {0, 0, 0}, {0, 1, 0});
+    Vec3 c = v.transformPoint({0, 0, 0});
+    EXPECT_NEAR(c.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(c.y, 0.0f, 1e-5f);
+    EXPECT_NEAR(c.z, -5.0f, 1e-5f);
+}
+
+TEST(Mat4, PerspectiveDepthRange)
+{
+    Mat4 p = Mat4::perspective(kPi / 2.0f, 1.0f, 1.0f, 100.0f);
+    // A point on the near plane maps to NDC z = -1.
+    Vec4 nearp = p * Vec4{0, 0, -1, 1};
+    EXPECT_NEAR(nearp.z / nearp.w, -1.0f, 1e-5f);
+    // A point on the far plane maps to NDC z = +1.
+    Vec4 farp = p * Vec4{0, 0, -100, 1};
+    EXPECT_NEAR(farp.z / farp.w, 1.0f, 1e-4f);
+}
+
+TEST(Mat4, PerspectiveWIsViewDepth)
+{
+    Mat4 p = Mat4::perspective(kPi / 3.0f, 1.5f, 0.5f, 50.0f);
+    Vec4 r = p * Vec4{1, 2, -7, 1};
+    EXPECT_NEAR(r.w, 7.0f, 1e-5f);
+}
+
+} // namespace
+} // namespace texpim

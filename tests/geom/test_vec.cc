@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "geom/vec.hh"
+
+namespace texpim {
+namespace {
+
+TEST(Vec2, Arithmetic)
+{
+    Vec2 a{1.0f, 2.0f}, b{3.0f, 4.0f};
+    Vec2 s = a + b;
+    EXPECT_FLOAT_EQ(s.x, 4.0f);
+    EXPECT_FLOAT_EQ(s.y, 6.0f);
+    EXPECT_FLOAT_EQ(a.dot(b), 11.0f);
+    EXPECT_FLOAT_EQ((a * 2.0f).y, 4.0f);
+}
+
+TEST(Vec3, CrossProductRightHanded)
+{
+    Vec3 x{1, 0, 0}, y{0, 1, 0};
+    Vec3 z = x.cross(y);
+    EXPECT_FLOAT_EQ(z.x, 0.0f);
+    EXPECT_FLOAT_EQ(z.y, 0.0f);
+    EXPECT_FLOAT_EQ(z.z, 1.0f);
+}
+
+TEST(Vec3, NormalizedLength)
+{
+    Vec3 v{3.0f, 4.0f, 0.0f};
+    EXPECT_FLOAT_EQ(v.length(), 5.0f);
+    EXPECT_NEAR(v.normalized().length(), 1.0f, 1e-6f);
+}
+
+TEST(Vec3, NormalizeZeroIsZero)
+{
+    Vec3 z{};
+    Vec3 n = z.normalized();
+    EXPECT_FLOAT_EQ(n.length(), 0.0f);
+}
+
+TEST(Vec4, DotAndXyz)
+{
+    Vec4 a{1, 2, 3, 4}, b{5, 6, 7, 8};
+    EXPECT_FLOAT_EQ(a.dot(b), 70.0f);
+    Vec3 v = a.xyz();
+    EXPECT_FLOAT_EQ(v.z, 3.0f);
+}
+
+TEST(Lerp, EndpointsAndMidpoint)
+{
+    EXPECT_FLOAT_EQ(lerp(2.0f, 10.0f, 0.0f), 2.0f);
+    EXPECT_FLOAT_EQ(lerp(2.0f, 10.0f, 1.0f), 10.0f);
+    EXPECT_FLOAT_EQ(lerp(2.0f, 10.0f, 0.5f), 6.0f);
+    Vec3 m = lerp(Vec3{0, 0, 0}, Vec3{2, 4, 6}, 0.5f);
+    EXPECT_FLOAT_EQ(m.y, 2.0f);
+}
+
+} // namespace
+} // namespace texpim

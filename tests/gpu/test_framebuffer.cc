@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "gpu/framebuffer.hh"
+
+namespace texpim {
+namespace {
+
+TEST(FrameBuffer, ClearsToColorAndFarDepth)
+{
+    FrameBuffer fb(8, 4);
+    fb.setPixel(3, 2, {9, 9, 9, 255});
+    fb.setDepth(3, 2, -0.5f);
+    fb.clear({1, 2, 3, 255});
+    EXPECT_TRUE(fb.pixel(3, 2) == (Rgba8{1, 2, 3, 255}));
+    EXPECT_FLOAT_EQ(fb.depth(3, 2), 1.0f);
+}
+
+TEST(FrameBuffer, PixelRoundTrip)
+{
+    FrameBuffer fb(4, 4);
+    fb.setPixel(1, 3, {10, 20, 30, 40});
+    Rgba8 c = fb.pixel(1, 3);
+    EXPECT_EQ(c.r, 10);
+    EXPECT_EQ(c.a, 40);
+}
+
+TEST(FrameBuffer, AddressesAreRowMajorAndDisjoint)
+{
+    FrameBuffer fb(16, 16);
+    EXPECT_EQ(fb.colorAddr(1, 0), fb.colorAddr(0, 0) + 4);
+    EXPECT_EQ(fb.colorAddr(0, 1), fb.colorAddr(0, 0) + 64);
+    EXPECT_GT(fb.depthAddr(0, 0), fb.colorAddr(15, 15));
+}
+
+TEST(FrameBufferDeath, OutOfRangeAccessPanics)
+{
+    FrameBuffer fb(4, 4);
+    EXPECT_DEATH({ (void)fb.pixel(4, 0); }, "out of range");
+    EXPECT_DEATH({ fb.setDepth(0, 4, 0.0f); }, "out of range");
+}
+
+} // namespace
+} // namespace texpim

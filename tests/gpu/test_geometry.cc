@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "gpu/geometry.hh"
+#include "scene/mesh.hh"
+#include "scene/scene.hh"
+
+namespace texpim {
+namespace {
+
+Camera
+testCamera()
+{
+    Camera c;
+    c.eye = {0, 0, 5};
+    c.center = {0, 0, 0};
+    return c;
+}
+
+Mat4
+vp(const Camera &c)
+{
+    return c.projMatrix(640, 480) * c.viewMatrix();
+}
+
+TEST(Geometry, ShadeVerticesTransforms)
+{
+    Mesh quad = makeQuad({-1, -1, 0}, {2, 0, 0}, {0, 2, 0});
+    Camera cam = testCamera();
+    std::vector<ShadedVertex> out;
+    shadeVertices(quad, Mat4::identity(), vp(cam), Mat4::identity(), out);
+    ASSERT_EQ(out.size(), 4u);
+    // In front of the camera: positive clip w ~ view depth 5.
+    EXPECT_NEAR(out[0].clip.w, 5.0f, 1e-4f);
+    EXPECT_FLOAT_EQ(out[0].world.x, -1.0f);
+}
+
+TEST(Geometry, FullyVisibleTriangleSurvives)
+{
+    Mesh quad = makeQuad({-1, -1, 0}, {2, 0, 0}, {0, 2, 0});
+    Camera cam = testCamera();
+    std::vector<ShadedVertex> sv;
+    shadeVertices(quad, Mat4::identity(), vp(cam), Mat4::identity(), sv);
+    std::vector<ClipTriangle> tris;
+    GeometryStats stats{};
+    assembleAndClip(sv, quad.indices, tris, stats);
+    EXPECT_EQ(tris.size(), 2u);
+    EXPECT_EQ(stats.trianglesRejected, 0u);
+    EXPECT_EQ(stats.trianglesClipped, 0u);
+}
+
+TEST(Geometry, BehindCameraIsRejected)
+{
+    // Quad at z = +10: behind the camera looking down -Z from z = 5.
+    Mesh quad = makeQuad({-1, -1, 10}, {2, 0, 0}, {0, 2, 0});
+    Camera cam = testCamera();
+    std::vector<ShadedVertex> sv;
+    shadeVertices(quad, Mat4::identity(), vp(cam), Mat4::identity(), sv);
+    std::vector<ClipTriangle> tris;
+    GeometryStats stats{};
+    assembleAndClip(sv, quad.indices, tris, stats);
+    EXPECT_TRUE(tris.empty());
+    EXPECT_EQ(stats.trianglesRejected, 2u);
+}
+
+TEST(Geometry, OffscreenSideIsRejected)
+{
+    Mesh quad = makeQuad({100, -1, 0}, {2, 0, 0}, {0, 2, 0});
+    Camera cam = testCamera();
+    std::vector<ShadedVertex> sv;
+    shadeVertices(quad, Mat4::identity(), vp(cam), Mat4::identity(), sv);
+    std::vector<ClipTriangle> tris;
+    GeometryStats stats{};
+    assembleAndClip(sv, quad.indices, tris, stats);
+    EXPECT_TRUE(tris.empty());
+}
+
+TEST(Geometry, NearPlaneCrossingIsClipped)
+{
+    // A quad spanning z = 0 .. 10 crosses the near plane (camera at
+    // z = 5 looking toward -Z, near 0.1 => plane at z = 4.9).
+    Mesh quad = makeQuad({-1, -1, 10}, {2, 0, 0}, {0, 0, -20});
+    Camera cam = testCamera();
+    std::vector<ShadedVertex> sv;
+    shadeVertices(quad, Mat4::identity(), vp(cam), Mat4::identity(), sv);
+    std::vector<ClipTriangle> tris;
+    GeometryStats stats{};
+    assembleAndClip(sv, quad.indices, tris, stats);
+    EXPECT_GT(stats.trianglesClipped, 0u);
+    EXPECT_GE(tris.size(), 2u);
+    // Every output vertex is on the visible side of the near plane
+    // (intersection vertices sit exactly on it, up to float noise).
+    for (const auto &t : tris)
+        for (const auto &v : t.v)
+            EXPECT_GT(v.clip.z + v.clip.w, -1e-4f);
+}
+
+TEST(Geometry, ClipInterpolatesAttributes)
+{
+    Mesh quad = makeQuad({-1, -1, 10}, {2, 0, 0}, {0, 0, -20}, 1.0f);
+    Camera cam = testCamera();
+    std::vector<ShadedVertex> sv;
+    shadeVertices(quad, Mat4::identity(), vp(cam), Mat4::identity(), sv);
+    std::vector<ClipTriangle> tris;
+    GeometryStats stats{};
+    assembleAndClip(sv, quad.indices, tris, stats);
+    for (const auto &t : tris) {
+        for (const auto &v : t.v) {
+            EXPECT_GE(v.uv.x, -1e-4f);
+            EXPECT_LE(v.uv.x, 1.0f + 1e-4f);
+            EXPECT_GE(v.uv.y, -1e-4f);
+            EXPECT_LE(v.uv.y, 1.0f + 1e-4f);
+        }
+    }
+}
+
+TEST(GeometryDeath, BadIndexCountPanics)
+{
+    std::vector<ShadedVertex> sv(3);
+    std::vector<u32> indices = {0, 1}; // not a multiple of 3
+    std::vector<ClipTriangle> tris;
+    GeometryStats stats{};
+    EXPECT_DEATH({ assembleAndClip(sv, indices, tris, stats); },
+                 "multiple of 3");
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpu/raster.hh"
+#include "scene/mesh.hh"
+#include "scene/scene.hh"
+
+namespace texpim {
+namespace {
+
+/** Set up one screen-covering quad triangle pair. */
+std::vector<SetupTriangle>
+setupQuad(Vec3 origin, Vec3 eu, Vec3 ev, const Camera &cam, unsigned w,
+          unsigned h, float uv_scale = 1.0f)
+{
+    Mesh quad = makeQuad(origin, eu, ev, uv_scale);
+    Mat4 vp = cam.projMatrix(w, h) * cam.viewMatrix();
+    std::vector<ShadedVertex> sv;
+    shadeVertices(quad, Mat4::identity(), vp, Mat4::identity(), sv);
+    std::vector<ClipTriangle> tris;
+    GeometryStats stats{};
+    assembleAndClip(sv, quad.indices, tris, stats);
+    std::vector<SetupTriangle> out;
+    for (const auto &t : tris) {
+        SetupTriangle st;
+        if (setupTriangle(t, w, h, 0, st))
+            out.push_back(st);
+    }
+    return out;
+}
+
+Camera
+frontCam()
+{
+    Camera c;
+    c.eye = {0, 0, 2};
+    c.center = {0, 0, 0};
+    return c;
+}
+
+TEST(Raster, CenterPixelCoveredByFacingQuad)
+{
+    auto tris = setupQuad({-1, -1, 0}, {2, 0, 0}, {0, 2, 0}, frontCam(),
+                          64, 64);
+    ASSERT_FALSE(tris.empty());
+    FragmentSample frag;
+    bool covered = false;
+    for (const auto &t : tris)
+        covered |= evalPixel(t, 32, 32, {0, 0, 2}, {0, 0, 1}, frag);
+    EXPECT_TRUE(covered);
+}
+
+TEST(Raster, OutsidePixelNotCovered)
+{
+    // A small quad in the middle of the screen.
+    auto tris = setupQuad({-0.1f, -0.1f, 0}, {0.2f, 0, 0}, {0, 0.2f, 0},
+                          frontCam(), 64, 64);
+    FragmentSample frag;
+    for (const auto &t : tris)
+        EXPECT_FALSE(evalPixel(t, 2, 2, {0, 0, 2}, {0, 0, 1}, frag));
+}
+
+TEST(Raster, QuadCoverageCountMatchesArea)
+{
+    // Full-NDC quad at the camera plane covers every pixel exactly
+    // once across its two triangles (shared-edge pixels may double;
+    // allow a small tolerance).
+    unsigned w = 32, h = 32;
+    Camera cam = frontCam();
+    // At z=0 with fov 1.2 and eye z=2, the visible half-height is
+    // 2*tan(0.6) ~ 1.37; use a quad bigger than that.
+    auto tris = setupQuad({-2, -2, 0}, {4, 0, 0}, {0, 4, 0}, cam, w, h);
+    unsigned covered = 0;
+    FragmentSample frag;
+    for (unsigned y = 0; y < h; ++y)
+        for (unsigned x = 0; x < w; ++x)
+            for (const auto &t : tris)
+                if (evalPixel(t, x, y, cam.eye, {0, 0, 1}, frag)) {
+                    ++covered;
+                    break;
+                }
+    EXPECT_EQ(covered, w * h);
+}
+
+TEST(Raster, PerspectiveCorrectUvAtKnownPoint)
+{
+    unsigned w = 64, h = 64;
+    Camera cam = frontCam();
+    auto tris = setupQuad({-1, -1, 0}, {2, 0, 0}, {0, 2, 0}, cam, w, h);
+    // The screen center maps to the quad center: uv = (0.5, 0.5).
+    FragmentSample frag;
+    bool hit = false;
+    for (const auto &t : tris)
+        if (evalPixel(t, w / 2, h / 2, cam.eye, {0, 0, 1}, frag)) {
+            hit = true;
+            break;
+        }
+    ASSERT_TRUE(hit);
+    EXPECT_NEAR(frag.uv.x, 0.5f, 0.02f);
+    EXPECT_NEAR(frag.uv.y, 0.5f, 0.02f);
+    EXPECT_NEAR(frag.world.z, 0.0f, 1e-3f);
+}
+
+TEST(Raster, DerivativesScaleWithResolution)
+{
+    Camera cam = frontCam();
+    auto t64 = setupQuad({-1, -1, 0}, {2, 0, 0}, {0, 2, 0}, cam, 64, 64);
+    auto t128 = setupQuad({-1, -1, 0}, {2, 0, 0}, {0, 2, 0}, cam, 128, 128);
+    FragmentSample f64, f128;
+    bool a = false, b = false;
+    for (const auto &t : t64)
+        a |= evalPixel(t, 32, 32, cam.eye, {0, 0, 1}, f64);
+    for (const auto &t : t128)
+        b |= evalPixel(t, 64, 64, cam.eye, {0, 0, 1}, f128);
+    ASSERT_TRUE(a && b);
+    // Twice the pixels -> half the uv step per pixel.
+    EXPECT_NEAR(f128.dUvDx.x, f64.dUvDx.x * 0.5f, 1e-4f);
+}
+
+TEST(Raster, CameraAngleFaceOnIsSmallGrazingIsLarge)
+{
+    Camera cam = frontCam();
+    unsigned w = 64, h = 64;
+
+    // Face-on quad: angle near 0.
+    auto facing = setupQuad({-1, -1, 0}, {2, 0, 0}, {0, 2, 0}, cam, w, h);
+    FragmentSample f;
+    for (const auto &t : facing)
+        if (evalPixel(t, 32, 32, cam.eye, {0, 0, 1}, f))
+            break;
+    EXPECT_LT(f.cameraAngle, 0.2f);
+
+    // A floor seen nearly edge-on: angle approaches pi/2. Probe the
+    // whole screen and take the largest covered angle.
+    Camera floor_cam;
+    floor_cam.eye = {0, 0.3f, 2};
+    floor_cam.center = {0, 0.29f, 0};
+    auto floor = setupQuad({-5, 0, 5}, {10, 0, 0}, {0, 0, -40},
+                           floor_cam, w, h);
+    FragmentSample g;
+    float max_angle = 0.0f;
+    for (unsigned y = 0; y < h; ++y)
+        for (unsigned x = 0; x < w; ++x)
+            for (const auto &t : floor)
+                if (evalPixel(t, x, y, floor_cam.eye, {0, 1, 0}, g))
+                    max_angle = std::max(max_angle, g.cameraAngle);
+    EXPECT_GT(max_angle, 1.0f); // > ~57 degrees somewhere on the floor
+}
+
+TEST(Raster, DegenerateTriangleRejectedAtSetup)
+{
+    ClipTriangle t{};
+    // All three vertices identical -> zero area.
+    for (auto &v : t.v)
+        v.clip = {0.0f, 0.0f, 0.0f, 1.0f};
+    SetupTriangle st;
+    EXPECT_FALSE(setupTriangle(t, 64, 64, 0, st));
+}
+
+TEST(Raster, OffscreenBoundingBoxRejectedAtSetup)
+{
+    Camera cam = frontCam();
+    auto tris = setupQuad({5, 5, 0}, {0.2f, 0, 0}, {0, 0.2f, 0}, cam,
+                          64, 64);
+    // Far off to the upper right: clipping or setup should drop it.
+    EXPECT_TRUE(tris.empty());
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Renderer-level properties: fragment counts scale with resolution,
+ * anisotropy amplifies texel demand on oblique geometry, hierarchical
+ * Z actually rejects occluded work, and frame timing is monotone in
+ * the work rendered.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/host_texture_path.hh"
+#include "gpu/renderer.hh"
+#include "mem/gddr5.hh"
+#include "scene/game_profiles.hh"
+#include "scene/procedural_texture.hh"
+
+namespace texpim {
+namespace {
+
+FrameStats
+render(Scene &scene)
+{
+    Gddr5Memory mem{Gddr5Params{}};
+    HostTexturePath path(GpuParams{}, mem);
+    Renderer renderer(GpuParams{}, mem, path);
+    FrameBuffer fb(scene.settings.width, scene.settings.height);
+    return renderer.renderFrame(scene, fb);
+}
+
+TEST(RendererProperty, FragmentsScaleWithResolution)
+{
+    Workload lo{Game::Riddick, 160, 120};
+    Workload hi{Game::Riddick, 320, 240};
+    Scene s_lo = buildGameScene(lo, 3);
+    Scene s_hi = buildGameScene(hi, 3);
+    FrameStats a = render(s_lo);
+    FrameStats b = render(s_hi);
+    double ratio = double(b.fragmentsShaded) / double(a.fragmentsShaded);
+    EXPECT_NEAR(ratio, 4.0, 0.5); // 4x the pixels
+    EXPECT_GT(b.frameCycles, a.frameCycles);
+}
+
+TEST(RendererProperty, HigherAnisoFetchesMoreTexels)
+{
+    Workload wl{Game::Riddick, 320, 240};
+    u64 prev = 0;
+    for (unsigned aniso : {1u, 4u, 16u}) {
+        Scene s = buildGameScene(wl, 3);
+        s.settings.maxAniso = aniso;
+        Gddr5Memory mem{Gddr5Params{}};
+        HostTexturePath path(GpuParams{}, mem);
+        Renderer renderer(GpuParams{}, mem, path);
+        FrameBuffer fb(320, 240);
+        renderer.renderFrame(s, fb);
+        u64 texels = path.stats().findCounter("texels").value();
+        EXPECT_GT(texels, prev) << "aniso " << aniso;
+        prev = texels;
+    }
+}
+
+TEST(RendererProperty, HierZRejectsHiddenGeometry)
+{
+    // A corridor scene with crates behind walls: the end room is
+    // occluded by distance, so hierarchical Z or early Z must reject
+    // a visible fraction of work.
+    Scene s = buildGameScene({Game::Doom3, 320, 240}, 3);
+    FrameStats fs = render(s);
+    EXPECT_GT(fs.fragmentsEarlyZKilled + fs.hierZTrianglesSkipped * 10,
+              fs.fragmentsShaded / 100);
+}
+
+TEST(RendererProperty, GeometryPhasePrecedesFragments)
+{
+    Scene s = buildGameScene({Game::Fear, 320, 240}, 3);
+    FrameStats fs = render(s);
+    EXPECT_GT(fs.geometryCycles, 0u);
+    EXPECT_GT(fs.frameCycles, fs.geometryCycles);
+    EXPECT_EQ(fs.geom.trianglesIn,
+              u64(s.triangleCount()));
+}
+
+TEST(RendererProperty, EveryWorkloadRendersNonTrivialCoverage)
+{
+    for (const Workload &base : paperWorkloads()) {
+        Workload wl = base;
+        wl.width = 160;
+        wl.height = 120;
+        Scene s = buildGameScene(wl, 3);
+        FrameStats fs = render(s);
+        double coverage = double(fs.fragmentsShaded) / (160.0 * 120.0);
+        EXPECT_GT(coverage, 0.5) << wl.label();
+        EXPECT_LE(coverage, 4.0) << wl.label(); // bounded overdraw
+    }
+}
+
+TEST(RendererProperty, CameraAngleAveragesAreOblique)
+{
+    // Corridor shooters look down grazing surfaces: the mean camera
+    // angle across shaded fragments must be solidly oblique.
+    Scene s = buildGameScene({Game::Wolfenstein, 320, 240}, 3);
+    FrameStats fs = render(s);
+    EXPECT_GT(fs.avgCameraAngleRad, 0.6); // > ~35 degrees
+    EXPECT_LT(fs.avgCameraAngleRad, 1.55);
+    EXPECT_GT(fs.avgAnisoRatio, 1.5);
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "mem/dram_bank.hh"
+
+namespace texpim {
+namespace {
+
+DramTiming
+timing()
+{
+    DramTiming t;
+    t.tRCD = 10;
+    t.tCL = 10;
+    t.tRP = 10;
+    t.tRAS = 25;
+    t.tBurst = 4;
+    return t;
+}
+
+TEST(DramBank, ClosedBankFirstAccessIsMiss)
+{
+    DramBank b(timing());
+    RowBufferOutcome o;
+    Cycle done = b.access(5, 100, o);
+    EXPECT_EQ(o, RowBufferOutcome::Miss);
+    // tRCD + tCL + tBurst after arrival.
+    EXPECT_EQ(done, 100u + 10 + 10 + 4);
+    EXPECT_TRUE(b.rowOpen());
+    EXPECT_EQ(b.openRow(), 5u);
+}
+
+TEST(DramBank, SameRowIsHit)
+{
+    DramBank b(timing());
+    RowBufferOutcome o;
+    Cycle first = b.access(5, 100, o);
+    Cycle second = b.access(5, first, o);
+    EXPECT_EQ(o, RowBufferOutcome::Hit);
+    EXPECT_EQ(second, first + 10 + 4); // tCL + burst after arrival
+}
+
+TEST(DramBank, DifferentRowIsConflictWithPrechargeActivate)
+{
+    DramBank b(timing());
+    RowBufferOutcome o;
+    Cycle first = b.access(5, 0, o);
+    // Access a different row well after tRAS has elapsed.
+    Cycle start = first + 100;
+    Cycle done = b.access(6, start, o);
+    EXPECT_EQ(o, RowBufferOutcome::Conflict);
+    EXPECT_EQ(done, start + 10 + 10 + 10 + 4); // tRP + tRCD + tCL + burst
+    EXPECT_EQ(b.openRow(), 6u);
+}
+
+TEST(DramBank, ConflictRespectsTras)
+{
+    DramBank b(timing());
+    RowBufferOutcome o;
+    // Activate row 1 at 0 (miss): occupies the bank until
+    // tRCD + tBurst = 14.
+    b.access(1, 0, o);
+    // In-order conflict arriving exactly as the bank frees up: the
+    // precharge still has to wait out tRAS (25) from the activate at
+    // 0, i.e. 11 more cycles, then tRP + tRCD + tCL + burst.
+    Cycle done = b.access(2, 14, o);
+    EXPECT_EQ(o, RowBufferOutcome::Conflict);
+    EXPECT_EQ(done, 14u + 11 + 10 + 10 + 10 + 4);
+}
+
+TEST(DramBank, LateArrivalServedConservatively)
+{
+    DramBank b(timing());
+    RowBufferOutcome o;
+    b.access(1, 100, o); // in-order miss, banks idle credit = 100
+    // A late-timestamped access (now < busy horizon) is served out of
+    // idle credit with closed-row timing and leaves row state alone.
+    Cycle done = b.access(1, 50, o);
+    EXPECT_EQ(o, RowBufferOutcome::Miss); // conservative, not a hit
+    EXPECT_EQ(done, 50u + 10 + 10 + 4);
+    EXPECT_EQ(b.openRow(), 1u);
+}
+
+TEST(DramBank, PipelinedHitsStreamAtBurstRate)
+{
+    DramBank b(timing());
+    RowBufferOutcome o;
+    Cycle first = b.access(7, 0, o);
+    // Four more hits issued back-to-back: each occupies the bank for
+    // tBurst only, so completions advance by tBurst.
+    Cycle prev = first;
+    for (int i = 0; i < 4; ++i) {
+        Cycle done = b.access(7, b.busyUntil(), o);
+        EXPECT_EQ(o, RowBufferOutcome::Hit);
+        EXPECT_EQ(done, prev + 4) << "hit " << i;
+        prev = done;
+    }
+}
+
+TEST(DramBank, BackToBackAccessesQueue)
+{
+    DramBank b(timing());
+    RowBufferOutcome o;
+    Cycle first = b.access(3, 0, o);
+    // Second access at time 0 with no idle credit queues behind the
+    // first's occupancy (tRCD + tBurst = 14) and, being out of order,
+    // is charged closed-row timing.
+    Cycle second = b.access(3, 0, o);
+    EXPECT_EQ(second, 14u + 10 + 10 + 4);
+    EXPECT_GT(second, first);
+}
+
+TEST(DramBank, PrechargeAllClosesRow)
+{
+    DramBank b(timing());
+    RowBufferOutcome o;
+    b.access(7, 0, o);
+    b.prechargeAll();
+    EXPECT_FALSE(b.rowOpen());
+    Cycle done_at = b.busyUntil();
+    b.access(7, done_at, o);
+    EXPECT_EQ(o, RowBufferOutcome::Miss); // closed, not a hit
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "power/area_model.hh"
+
+namespace texpim {
+namespace {
+
+AtfimOverhead
+paperConfig()
+{
+    CacheParams l1{16 * 1024, 16, 64};
+    CacheParams l2{128 * 1024, 16, 64};
+    return computeAtfimOverhead(AreaParams{}, 256, 45, 256, 16, l1, l2, 16);
+}
+
+TEST(Area, ParentTexelBufferMatchesPaper)
+{
+    // §VII-E: (256 x 45) / (1024 x 8) = 1.41 KB.
+    AtfimOverhead o = paperConfig();
+    EXPECT_NEAR(o.parentTexelBufferKB, 1.41, 0.01);
+    EXPECT_NEAR(o.consolidationBufferKB, 0.5, 0.01);
+}
+
+TEST(Area, HmcOverheadFractionNearPaper)
+{
+    AtfimOverhead o = paperConfig();
+    // Paper: 3.18% of a 226.1 mm^2 die.
+    EXPECT_NEAR(100.0 * o.hmcFractionOfDie, 3.18, 0.15);
+    EXPECT_NEAR(o.hmcLogicMm2, 6.09, 0.01);
+}
+
+TEST(Area, GpuAngleTagStorage)
+{
+    AtfimOverhead o = paperConfig();
+    // 16 KB / 64 B = 256 lines x 7 bits = 0.21875 KB per L1.
+    EXPECT_NEAR(o.l1AngleKBPerCache, 0.219, 0.01);
+    EXPECT_NEAR(o.l2AngleKB, 1.75, 0.01);
+    // Paper reports 0.23% of the GPU die; ours lands in that band.
+    EXPECT_LT(100.0 * o.gpuFractionOfDie, 0.5);
+    EXPECT_GT(100.0 * o.gpuFractionOfDie, 0.1);
+}
+
+TEST(Area, OverheadScalesWithBufferSize)
+{
+    CacheParams l1{16 * 1024, 16, 64};
+    CacheParams l2{128 * 1024, 16, 64};
+    AtfimOverhead small =
+        computeAtfimOverhead(AreaParams{}, 128, 45, 128, 16, l1, l2, 16);
+    AtfimOverhead big =
+        computeAtfimOverhead(AreaParams{}, 512, 45, 512, 16, l1, l2, 16);
+    EXPECT_LT(small.hmcStorageMm2, big.hmcStorageMm2);
+    EXPECT_DOUBLE_EQ(small.hmcLogicMm2, big.hmcLogicMm2);
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.hh"
+#include "quality/image_metrics.hh"
+
+namespace texpim {
+namespace {
+
+FrameBuffer
+noiseImage(unsigned w, unsigned h, u64 seed)
+{
+    FrameBuffer fb(w, h);
+    Rng rng(seed);
+    for (unsigned y = 0; y < h; ++y)
+        for (unsigned x = 0; x < w; ++x)
+            fb.setPixel(x, y, {u8(rng.below(256)), u8(rng.below(256)),
+                               u8(rng.below(256)), 255});
+    return fb;
+}
+
+TEST(Psnr, IdenticalImagesReportNinetyNine)
+{
+    FrameBuffer a = noiseImage(32, 32, 1);
+    EXPECT_DOUBLE_EQ(psnr(a, a), kIdenticalPsnr);
+    EXPECT_EQ(differingPixels(a, a), 0u);
+    EXPECT_DOUBLE_EQ(ssim(a, a), 1.0);
+}
+
+TEST(Psnr, KnownErrorGivesKnownValue)
+{
+    FrameBuffer a(16, 16);
+    FrameBuffer b(16, 16);
+    a.clear({100, 100, 100, 255});
+    b.clear({110, 110, 110, 255});
+    // MSE = 100 -> PSNR = 10 log10(255^2 / 100) = 28.13.
+    EXPECT_NEAR(psnr(a, b), 28.13, 0.01);
+    EXPECT_EQ(differingPixels(a, b), 16u * 16u);
+}
+
+TEST(Psnr, MorePerturbationLowersPsnr)
+{
+    FrameBuffer base = noiseImage(32, 32, 2);
+    Rng rng(3);
+    FrameBuffer mild = base;
+    FrameBuffer heavy = base;
+    for (unsigned y = 0; y < 32; ++y) {
+        for (unsigned x = 0; x < 32; ++x) {
+            Rgba8 c = base.pixel(x, y);
+            if (rng.chance(0.1))
+                mild.setPixel(x, y, {u8(c.r ^ 4), c.g, c.b, c.a});
+            heavy.setPixel(x, y, {u8(c.r ^ 64), c.g, c.b, c.a});
+        }
+    }
+    EXPECT_GT(psnr(base, mild), psnr(base, heavy));
+    EXPECT_GT(ssim(base, mild), ssim(base, heavy));
+}
+
+TEST(Ssim, UniformShiftScoresHigherThanStructureChange)
+{
+    // SSIM is less sensitive to luminance shifts than to structural
+    // scrambling (why the paper prefers PSNR for high quality).
+    FrameBuffer base = noiseImage(32, 32, 4);
+    FrameBuffer shifted(32, 32);
+    for (unsigned y = 0; y < 32; ++y)
+        for (unsigned x = 0; x < 32; ++x) {
+            Rgba8 c = base.pixel(x, y);
+            shifted.setPixel(x, y, {u8(std::min(255, c.r + 12)),
+                                    u8(std::min(255, c.g + 12)),
+                                    u8(std::min(255, c.b + 12)), 255});
+        }
+    FrameBuffer scrambled = noiseImage(32, 32, 5);
+    EXPECT_GT(ssim(base, shifted), ssim(base, scrambled));
+}
+
+TEST(Ppm, WriteProducesValidHeaderAndSize)
+{
+    FrameBuffer fb = noiseImage(8, 4, 6);
+    std::string path = "test_out.ppm";
+    writePpm(fb, path);
+    std::ifstream is(path, std::ios::binary);
+    ASSERT_TRUE(is.good());
+    std::string magic;
+    unsigned w, h, maxv;
+    is >> magic >> w >> h >> maxv;
+    EXPECT_EQ(magic, "P6");
+    EXPECT_EQ(w, 8u);
+    EXPECT_EQ(h, 4u);
+    EXPECT_EQ(maxv, 255u);
+    is.get(); // single whitespace after header
+    std::vector<char> data(8 * 4 * 3);
+    is.read(data.data(), std::streamsize(data.size()));
+    EXPECT_EQ(is.gcount(), std::streamsize(data.size()));
+    std::remove(path.c_str());
+}
+
+TEST(MetricsDeath, SizeMismatchPanics)
+{
+    FrameBuffer a(8, 8), b(16, 16);
+    EXPECT_DEATH({ (void)psnr(a, b); }, "size mismatch");
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scene/mesh.hh"
+
+namespace texpim {
+namespace {
+
+TEST(Mesh, QuadHasTwoTrianglesAndOutwardNormal)
+{
+    Mesh m = makeQuad({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 2.0f);
+    EXPECT_EQ(m.verts.size(), 4u);
+    EXPECT_EQ(m.triangleCount(), 2u);
+    // +X cross +Y = +Z normal.
+    for (const auto &v : m.verts)
+        EXPECT_FLOAT_EQ(v.normal.z, 1.0f);
+    EXPECT_FLOAT_EQ(m.verts[2].uv.x, 2.0f);
+    EXPECT_FLOAT_EQ(m.verts[2].uv.y, 2.0f);
+}
+
+TEST(Mesh, QuadUvIndependentScales)
+{
+    Mesh m = makeQuadUv({0, 0, 0}, {4, 0, 0}, {0, 1, 0}, 8.0f, 2.0f);
+    EXPECT_FLOAT_EQ(m.verts[1].uv.x, 8.0f);
+    EXPECT_FLOAT_EQ(m.verts[3].uv.y, 2.0f);
+}
+
+TEST(Mesh, AppendRebasesIndices)
+{
+    Mesh a = makeQuad({0, 0, 0}, {1, 0, 0}, {0, 1, 0});
+    Mesh b = makeQuad({2, 0, 0}, {1, 0, 0}, {0, 1, 0});
+    a.append(b);
+    EXPECT_EQ(a.verts.size(), 8u);
+    EXPECT_EQ(a.triangleCount(), 4u);
+    for (size_t i = 6; i < a.indices.size(); ++i)
+        EXPECT_GE(a.indices[i], 4u);
+}
+
+TEST(Mesh, GridQuadCountsAndCoverage)
+{
+    Mesh m = makeGridQuad({0, 0, 0}, {4, 0, 0}, {0, 2, 0}, 1.0f, 1.0f, 4, 2);
+    EXPECT_EQ(m.verts.size(), 5u * 3u);
+    EXPECT_EQ(m.triangleCount(), 16u);
+    // Far corner is at the edge vectors' sum.
+    const Vertex &far = m.verts.back();
+    EXPECT_FLOAT_EQ(far.pos.x, 4.0f);
+    EXPECT_FLOAT_EQ(far.pos.y, 2.0f);
+    EXPECT_FLOAT_EQ(far.uv.x, 1.0f);
+}
+
+TEST(Mesh, BoxFacesUseDisjointUvRegions)
+{
+    Mesh m = makeBox({0, 0, 0}, {1, 1, 1}, 1.0f);
+    EXPECT_EQ(m.verts.size(), 24u);
+    EXPECT_EQ(m.triangleCount(), 12u);
+    // Each face's uv origin is offset from the others so faces never
+    // alias the same texels (A-TFIM reuse hygiene).
+    std::set<std::pair<float, float>> origins;
+    for (size_t f = 0; f < 6; ++f)
+        origins.insert({m.verts[f * 4].uv.x, m.verts[f * 4].uv.y});
+    EXPECT_EQ(origins.size(), 6u);
+}
+
+TEST(Mesh, BoxFetchBytesCoversVertsAndIndices)
+{
+    Mesh m = makeBox({0, 0, 0}, {1, 1, 1});
+    EXPECT_EQ(m.fetchBytes(),
+              m.verts.size() * sizeof(Vertex) +
+                  m.indices.size() * sizeof(u32));
+}
+
+TEST(Mesh, RoomNormalsPointInward)
+{
+    Mesh m = makeRoom({0, 0, 0}, {2, 2, 2});
+    // Every face normal should point toward the room center.
+    for (size_t f = 0; f < 6; ++f) {
+        const Vertex &v = m.verts[f * 4];
+        Vec3 to_center = (Vec3{0, 0, 0} - v.pos).normalized();
+        EXPECT_GT(v.normal.dot(to_center), 0.0f) << "face " << f;
+    }
+}
+
+TEST(Mesh, TerrainIsDeterministicPerSeed)
+{
+    Mesh a = makeTerrain(8, 10.0f, 1.0f, 42);
+    Mesh b = makeTerrain(8, 10.0f, 1.0f, 42);
+    Mesh c = makeTerrain(8, 10.0f, 1.0f, 43);
+    ASSERT_EQ(a.verts.size(), b.verts.size());
+    bool same = true, diff = false;
+    for (size_t i = 0; i < a.verts.size(); ++i) {
+        same &= a.verts[i].pos.y == b.verts[i].pos.y;
+        diff |= a.verts[i].pos.y != c.verts[i].pos.y;
+    }
+    EXPECT_TRUE(same);
+    EXPECT_TRUE(diff);
+}
+
+TEST(Mesh, TerrainNormalsAreUnitAndUpish)
+{
+    Mesh m = makeTerrain(8, 10.0f, 0.5f, 7);
+    for (const auto &v : m.verts) {
+        EXPECT_NEAR(v.normal.length(), 1.0f, 1e-5f);
+        EXPECT_GT(v.normal.y, 0.0f);
+    }
+}
+
+TEST(Mesh, ColumnSegmentsUseOwnUvBands)
+{
+    Mesh m = makeColumn({0, 0, 0}, 1.0f, 3.0f, 6, 6.0f);
+    EXPECT_EQ(m.triangleCount(), 12u);
+    std::set<float> u_origins;
+    for (size_t s = 0; s < 6; ++s)
+        u_origins.insert(m.verts[s * 4].uv.x);
+    EXPECT_EQ(u_origins.size(), 6u);
+}
+
+TEST(MeshDeath, DegenerateColumnPanics)
+{
+    EXPECT_DEATH({ makeColumn({0, 0, 0}, 1.0f, 1.0f, 2); },
+                 "at least 3 segments");
+}
+
+} // namespace
+} // namespace texpim

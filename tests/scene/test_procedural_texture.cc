@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "scene/procedural_texture.hh"
+
+namespace texpim {
+namespace {
+
+const Material kAll[] = {
+    Material::Checker, Material::Bricks, Material::Stone, Material::Marble,
+    Material::Wood,    Material::Metal,  Material::Grass, Material::Concrete,
+};
+
+TEST(ProceduralTexture, AllMaterialsGenerate)
+{
+    for (Material m : kAll) {
+        TextureImage img = generateTexture(m, 32, 1);
+        EXPECT_EQ(img.width(), 32u);
+        EXPECT_EQ(img.height(), 32u);
+        SCOPED_TRACE(materialName(m));
+    }
+}
+
+TEST(ProceduralTexture, DeterministicPerSeed)
+{
+    TextureImage a = generateTexture(Material::Stone, 64, 7);
+    TextureImage b = generateTexture(Material::Stone, 64, 7);
+    TextureImage c = generateTexture(Material::Stone, 64, 8);
+    bool same = true, diff = false;
+    for (unsigned y = 0; y < 64; ++y) {
+        for (unsigned x = 0; x < 64; ++x) {
+            same &= a.texel(x, y) == b.texel(x, y);
+            diff |= !(a.texel(x, y) == c.texel(x, y));
+        }
+    }
+    EXPECT_TRUE(same);
+    EXPECT_TRUE(diff);
+}
+
+TEST(ProceduralTexture, MaterialsAreNotUniform)
+{
+    for (Material m : kAll) {
+        TextureImage img = generateTexture(m, 64, 3);
+        Rgba8 first = img.texel(0, 0);
+        bool varied = false;
+        for (unsigned y = 0; y < 64 && !varied; ++y)
+            for (unsigned x = 0; x < 64 && !varied; ++x)
+                varied = !(img.texel(x, y) == first);
+        EXPECT_TRUE(varied) << materialName(m);
+    }
+}
+
+TEST(ProceduralTexture, CheckerAlternates)
+{
+    TextureImage img = generateTexture(Material::Checker, 64, 0);
+    // 8x8 checker on a 64-texel image: cells are 8 texels wide.
+    EXPECT_FALSE(img.texel(0, 0) == img.texel(8, 0));
+    EXPECT_TRUE(img.texel(0, 0) == img.texel(16, 0));
+}
+
+TEST(FbmNoise, RangeAndSmoothness)
+{
+    for (int i = 0; i < 200; ++i) {
+        float x = float(i) * 0.37f;
+        float v = fbmNoise(x, 1.3f, 4, 9);
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+        // Nearby samples stay close (continuity).
+        float v2 = fbmNoise(x + 0.01f, 1.3f, 4, 9);
+        EXPECT_LT(std::abs(v - v2), 0.2f);
+    }
+}
+
+TEST(FbmNoise, SeedChangesField)
+{
+    EXPECT_NE(fbmNoise(1.5f, 2.5f, 4, 1), fbmNoise(1.5f, 2.5f, 4, 2));
+}
+
+TEST(ProceduralTextureDeath, TooSmallPanics)
+{
+    EXPECT_DEATH({ generateTexture(Material::Stone, 2, 0); },
+                 "texture too small");
+}
+
+} // namespace
+} // namespace texpim

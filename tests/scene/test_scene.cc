@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "scene/game_profiles.hh"
+#include "scene/scene.hh"
+
+namespace texpim {
+namespace {
+
+TEST(SceneFormat, WithTextureFormatPreservesStructure)
+{
+    Scene s = buildGameScene({Game::Riddick, 320, 240}, 2);
+    Scene c = withTextureFormat(s, TexelFormat::Bc1);
+
+    EXPECT_EQ(c.name, s.name);
+    EXPECT_EQ(c.objects.size(), s.objects.size());
+    EXPECT_EQ(c.textures->count(), s.textures->count());
+    EXPECT_EQ(c.settings.width, s.settings.width);
+    for (size_t i = 0; i < s.objects.size(); ++i) {
+        EXPECT_EQ(c.objects[i].textureId, s.objects[i].textureId);
+        EXPECT_EQ(c.objects[i].mesh.indices.size(),
+                  s.objects[i].mesh.indices.size());
+    }
+    for (u32 t = 0; t < c.textures->count(); ++t) {
+        EXPECT_EQ(c.textures->texture(t).format(), TexelFormat::Bc1);
+        EXPECT_EQ(c.textures->texture(t).width(0),
+                  s.textures->texture(t).width(0));
+    }
+}
+
+TEST(SceneFormat, CompressionShrinksTextureFootprint)
+{
+    Scene s = buildGameScene({Game::Doom3, 320, 240}, 2);
+    Scene c = withTextureFormat(s, TexelFormat::Bc1);
+    // BC1 is 8:1 vs RGBA8 across the mip chain.
+    EXPECT_LT(c.textures->totalBytes(), s.textures->totalBytes() / 6);
+}
+
+TEST(SceneFormat, CompressedTexelsStayCloseToOriginals)
+{
+    Scene s = buildGameScene({Game::Wolfenstein, 320, 240}, 2);
+    Scene c = withTextureFormat(s, TexelFormat::Bc1);
+    const Texture &a = s.textures->texture(0);
+    const Texture &b = c.textures->texture(0);
+    double err = 0.0;
+    unsigned n = 0;
+    for (unsigned y = 0; y < a.height(0); y += 7) {
+        for (unsigned x = 0; x < a.width(0); x += 7) {
+            Rgba8 p = a.fetchTexel(0, int(x), int(y));
+            Rgba8 q = b.fetchTexel(0, int(x), int(y));
+            err += std::abs(int(p.r) - q.r) + std::abs(int(p.g) - q.g) +
+                   std::abs(int(p.b) - q.b);
+            ++n;
+        }
+    }
+    EXPECT_LT(err / (3.0 * n), 24.0); // mean channel error < ~9% range
+}
+
+TEST(Camera, MatricesAreConsistent)
+{
+    Camera cam;
+    cam.eye = {1, 2, 3};
+    cam.center = {0, 0, 0};
+    Mat4 v = cam.viewMatrix();
+    // The eye maps to the view-space origin.
+    Vec3 o = v.transformPoint(cam.eye);
+    EXPECT_NEAR(o.length(), 0.0f, 1e-4f);
+    // Projection preserves the view-space depth in w.
+    Mat4 p = cam.projMatrix(640, 480);
+    Vec4 r = p * Vec4{0, 0, -5, 1};
+    EXPECT_NEAR(r.w, 5.0f, 1e-4f);
+}
+
+TEST(SceneStats, TriangleCountSumsObjects)
+{
+    Scene s;
+    s.objects.resize(2);
+    s.objects[0].mesh = makeQuad({0, 0, 0}, {1, 0, 0}, {0, 1, 0});
+    s.objects[1].mesh = makeBox({0, 0, 0}, {1, 1, 1});
+    EXPECT_EQ(s.triangleCount(), 2u + 12u);
+}
+
+} // namespace
+} // namespace texpim

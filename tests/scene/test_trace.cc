@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scene/game_profiles.hh"
+#include "scene/trace.hh"
+
+namespace texpim {
+namespace {
+
+TEST(Trace, RoundTripPreservesScene)
+{
+    Scene s = buildGameScene({Game::Wolfenstein, 640, 480}, 2);
+    std::stringstream buf;
+    writeTrace(s, buf);
+    Scene r = readTrace(buf);
+
+    EXPECT_EQ(r.name, s.name);
+    EXPECT_EQ(r.settings.width, s.settings.width);
+    EXPECT_EQ(r.settings.height, s.settings.height);
+    EXPECT_EQ(r.settings.maxAniso, s.settings.maxAniso);
+    EXPECT_EQ(int(r.settings.filterMode), int(s.settings.filterMode));
+
+    EXPECT_FLOAT_EQ(r.camera.eye.z, s.camera.eye.z);
+    EXPECT_FLOAT_EQ(r.camera.fovYRadians, s.camera.fovYRadians);
+
+    ASSERT_EQ(r.textures->count(), s.textures->count());
+    for (u32 t = 0; t < s.textures->count(); ++t) {
+        const Texture &a = s.textures->texture(t);
+        const Texture &b = r.textures->texture(t);
+        EXPECT_EQ(a.name(), b.name());
+        ASSERT_EQ(a.width(0), b.width(0));
+        ASSERT_EQ(a.height(0), b.height(0));
+        EXPECT_TRUE(a.fetchTexel(0, 3, 5) == b.fetchTexel(0, 3, 5));
+        // Mip chains are regenerated identically (deterministic).
+        EXPECT_EQ(a.levels(), b.levels());
+        EXPECT_TRUE(a.fetchTexel(1, 1, 1) == b.fetchTexel(1, 1, 1));
+    }
+
+    ASSERT_EQ(r.objects.size(), s.objects.size());
+    for (size_t i = 0; i < s.objects.size(); ++i) {
+        EXPECT_EQ(r.objects[i].textureId, s.objects[i].textureId);
+        EXPECT_EQ(r.objects[i].detailTextureId,
+                  s.objects[i].detailTextureId);
+        ASSERT_EQ(r.objects[i].mesh.verts.size(),
+                  s.objects[i].mesh.verts.size());
+        EXPECT_EQ(r.objects[i].mesh.indices, s.objects[i].mesh.indices);
+        EXPECT_FLOAT_EQ(r.objects[i].model.at(0, 3),
+                        s.objects[i].model.at(0, 3));
+    }
+}
+
+TEST(TraceDeath, BadMagicIsFatal)
+{
+    std::stringstream buf;
+    buf << "NOPE garbage";
+    EXPECT_EXIT({ (void)readTrace(buf); }, testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(TraceDeath, TruncatedStreamIsFatal)
+{
+    Scene s = buildGameScene({Game::Riddick, 640, 480});
+    std::stringstream buf;
+    writeTrace(s, buf);
+    std::string data = buf.str();
+    std::stringstream cut(data.substr(0, data.size() / 2));
+    EXPECT_EXIT({ (void)readTrace(cut); }, testing::ExitedWithCode(1),
+                "truncated trace");
+}
+
+TEST(TraceDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT({ (void)readTraceFile("/nonexistent/path/x.trace"); },
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace texpim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cross-design property sweep: for every game x design combination (at
+ * a reduced resolution so the whole sweep stays fast), the invariants
+ * that define each design must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "quality/image_metrics.hh"
+#include "sim/simulator.hh"
+
+namespace texpim {
+namespace {
+
+using Param = std::tuple<Game, Design>;
+
+class DesignSweep : public testing::TestWithParam<Param>
+{
+  protected:
+    static Scene
+    scene(Game g)
+    {
+        Workload wl{g, 160, 120};
+        Scene s = buildGameScene(wl, 2);
+        s.settings.maxAniso = 8;
+        return s;
+    }
+};
+
+TEST_P(DesignSweep, InvariantsHold)
+{
+    auto [game, design] = GetParam();
+    Scene s = scene(game);
+
+    SimConfig base_cfg;
+    base_cfg.design = Design::Baseline;
+    RenderingSimulator base_sim(base_cfg);
+    SimResult base = base_sim.renderScene(s);
+
+    SimConfig cfg;
+    cfg.design = design;
+    RenderingSimulator sim(cfg);
+    SimResult r = sim.renderScene(s);
+
+    // Universal sanity.
+    EXPECT_GT(r.frame.frameCycles, 0u);
+    EXPECT_GT(r.offChipTotalBytes, 0u);
+    EXPECT_GT(r.energy.total(), 0.0);
+    EXPECT_EQ(r.frame.fragmentsShaded, base.frame.fragmentsShaded);
+
+    switch (design) {
+      case Design::Baseline:
+        EXPECT_EQ(r.frame.frameCycles, base.frame.frameCycles);
+        break;
+      case Design::BPim:
+      case Design::STfim:
+        // Exact designs: bit-identical frames.
+        EXPECT_EQ(differingPixels(*base.image, *r.image), 0u);
+        break;
+      case Design::ATfim:
+        // Approximate but high quality at the default threshold. (No
+        // traffic assertion at this tiny resolution: the paper's own
+        // Fig. 12 shows A-TFIM traffic exceeding the baseline at low
+        // resolutions, where package overheads dominate.)
+        EXPECT_GT(psnr(*base.image, *r.image), 40.0);
+        // All parent data arrives via packages, never as plain
+        // texture-class reads.
+        EXPECT_EQ(r.offChipBytesByClass[unsigned(TrafficClass::Texture)],
+                  0u);
+        EXPECT_GT(r.offChipBytesByClass[unsigned(TrafficClass::PimPackage)],
+                  0u);
+        break;
+      default:
+        FAIL();
+    }
+
+    if (design == Design::STfim) {
+        // All texel movement is internal; off-chip texture class empty.
+        EXPECT_EQ(r.offChipBytesByClass[unsigned(TrafficClass::Texture)],
+                  0u);
+        EXPECT_GT(r.offChipBytesByClass[unsigned(TrafficClass::PimPackage)],
+                  0u);
+    }
+}
+
+std::string
+paramName(const testing::TestParamInfo<Param> &info)
+{
+    return std::string(gameName(std::get<0>(info.param))) + "_" +
+           (std::get<1>(info.param) == Design::Baseline  ? "baseline"
+            : std::get<1>(info.param) == Design::BPim    ? "bpim"
+            : std::get<1>(info.param) == Design::STfim   ? "stfim"
+                                                         : "atfim");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGamesAllDesigns, DesignSweep,
+    testing::Combine(testing::Values(Game::Doom3, Game::Fear,
+                                     Game::HalfLife2, Game::Riddick,
+                                     Game::Wolfenstein),
+                     testing::Values(Design::Baseline, Design::BPim,
+                                     Design::STfim, Design::ATfim)),
+    paramName);
+
+} // namespace
+} // namespace texpim

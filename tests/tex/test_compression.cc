@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+#include "tex/compression.hh"
+
+namespace texpim {
+namespace {
+
+TextureImage
+noise(unsigned w, unsigned h, u64 seed)
+{
+    Rng rng(seed);
+    TextureImage img(w, h);
+    for (unsigned y = 0; y < h; ++y)
+        for (unsigned x = 0; x < w; ++x)
+            img.setTexel(x, y, {u8(rng.below(256)), u8(rng.below(256)),
+                                u8(rng.below(256)), 255});
+    return img;
+}
+
+double
+imagePsnr(const TextureImage &a, const TextureImage &b)
+{
+    double se = 0.0;
+    for (unsigned y = 0; y < a.height(); ++y) {
+        for (unsigned x = 0; x < a.width(); ++x) {
+            Rgba8 p = a.texel(x, y), q = b.texel(x, y);
+            se += double(p.r - q.r) * (p.r - q.r) +
+                  double(p.g - q.g) * (p.g - q.g) +
+                  double(p.b - q.b) * (p.b - q.b);
+        }
+    }
+    double mse = se / (double(a.width()) * a.height() * 3.0);
+    return mse <= 0 ? 99.0 : 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+TEST(Rgb565, RoundTripIsIdempotent)
+{
+    for (int v = 0; v < 0x10000; v += 257) {
+        Rgba8 c = unpackRgb565(u16(v));
+        EXPECT_EQ(packRgb565(c), u16(v));
+    }
+}
+
+TEST(Rgb565, ExtremesAreExact)
+{
+    EXPECT_TRUE(unpackRgb565(packRgb565({0, 0, 0, 255})) ==
+                (Rgba8{0, 0, 0, 255}));
+    EXPECT_TRUE(unpackRgb565(packRgb565({255, 255, 255, 255})) ==
+                (Rgba8{255, 255, 255, 255}));
+}
+
+TEST(Bc1Block, UniformBlockIsLosslessUpTo565)
+{
+    Rgba8 texels[16];
+    Rgba8 c = unpackRgb565(packRgb565({120, 64, 200, 255}));
+    for (auto &t : texels)
+        t = c;
+    Bc1Block b = compressBc1Block(texels);
+    Rgba8 out[16];
+    decompressBc1Block(b, out);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(out[i] == c) << i;
+}
+
+TEST(Bc1Block, TwoColorBlockReconstructsBothColors)
+{
+    Rgba8 a = unpackRgb565(packRgb565({255, 0, 0, 255}));
+    Rgba8 b = unpackRgb565(packRgb565({0, 0, 255, 255}));
+    Rgba8 texels[16];
+    for (int i = 0; i < 16; ++i)
+        texels[i] = (i & 1) ? a : b;
+    Bc1Block blk = compressBc1Block(texels);
+    Rgba8 out[16];
+    decompressBc1Block(blk, out);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(out[i] == ((i & 1) ? a : b)) << i;
+}
+
+TEST(Bc1Block, OpaqueModeOrderingHolds)
+{
+    Rgba8 texels[16];
+    Rng rng(3);
+    for (auto &t : texels)
+        t = {u8(rng.below(256)), u8(rng.below(256)), u8(rng.below(256)),
+             255};
+    Bc1Block b = compressBc1Block(texels);
+    EXPECT_GE(b.color0, b.color1);
+}
+
+TEST(Bc1, CompressedSizeIsOneEighth)
+{
+    EXPECT_EQ(bc1Bytes(64, 64), 64u * 64 * 4 / 8);
+    EXPECT_EQ(bc1Bytes(4, 4), 8u);
+    EXPECT_EQ(bc1Bytes(2, 2), 8u); // rounds up to one block
+}
+
+TEST(Bc1, RoundTripQualityOnSmoothContent)
+{
+    // A smooth gradient compresses nearly losslessly.
+    TextureImage img(64, 64);
+    for (unsigned y = 0; y < 64; ++y)
+        for (unsigned x = 0; x < 64; ++x)
+            img.setTexel(x, y, {u8(4 * x), u8(4 * y), 128, 255});
+    EXPECT_GT(imagePsnr(img, bc1RoundTrip(img)), 35.0);
+}
+
+TEST(Bc1, RoundTripBoundedErrorOnNoise)
+{
+    // Pure noise is BC1's worst case but must stay recognizable.
+    TextureImage img = noise(64, 64, 7);
+    double q = imagePsnr(img, bc1RoundTrip(img));
+    EXPECT_GT(q, 12.0);
+    EXPECT_LT(q, 40.0);
+}
+
+TEST(Bc1, DecompressValidatesBlockCount)
+{
+    std::vector<Bc1Block> blocks(4);
+    EXPECT_DEATH({ decompressBc1(blocks, 64, 64); },
+                 "does not cover");
+}
+
+TEST(CompressedTexture, AddressesLandOnBlocks)
+{
+    Texture t("c", noise(64, 64, 1), 0x1000, TexelFormat::Bc1);
+    // All 16 texels of a 4x4 tile share one 8-byte block address.
+    Addr a = t.texelAddr(0, 0, 0);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            EXPECT_EQ(t.texelAddr(0, x, y), a);
+    // The next tile is a different, 8-byte-aligned address.
+    Addr b = t.texelAddr(0, 4, 0);
+    EXPECT_NE(b, a);
+    EXPECT_EQ(b % 8, 0u);
+}
+
+TEST(CompressedTexture, ByteSizeIsRoughlyOneEighth)
+{
+    Texture raw("r", noise(128, 128, 2), 0x0);
+    Texture bc1("c", noise(128, 128, 2), 0x0, TexelFormat::Bc1);
+    EXPECT_LT(bc1.byteSize(), raw.byteSize() / 6);
+    EXPECT_GT(bc1.byteSize(), raw.byteSize() / 10);
+}
+
+TEST(CompressedTexture, FunctionalReadsAreRoundTripped)
+{
+    TextureImage img = noise(32, 32, 9);
+    TextureImage rt = bc1RoundTrip(img);
+    Texture t("c", img, 0x0, TexelFormat::Bc1);
+    for (unsigned y = 0; y < 32; y += 5)
+        for (unsigned x = 0; x < 32; x += 3)
+            EXPECT_TRUE(t.fetchTexel(0, int(x), int(y)) == rt.texel(x, y));
+}
+
+TEST(CompressedTexture, AddressesUniquePerBlockGrid)
+{
+    Texture t("c", noise(32, 32, 4), 0x0, TexelFormat::Bc1);
+    std::set<Addr> seen;
+    for (int y = 0; y < 32; y += 4)
+        for (int x = 0; x < 32; x += 4)
+            EXPECT_TRUE(seen.insert(t.texelAddr(0, x, y)).second);
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+} // namespace
+} // namespace texpim

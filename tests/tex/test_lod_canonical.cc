@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the canonical LOD/anisotropy derivation that underpins
+ * A-TFIM's exact same-angle reuse (see DESIGN.md "canonical
+ * anisotropic footprints").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tex/sampler.hh"
+
+namespace texpim {
+namespace {
+
+TextureImage
+flat(unsigned n)
+{
+    TextureImage img(n, n);
+    for (unsigned y = 0; y < n; ++y)
+        for (unsigned x = 0; x < n; ++x)
+            img.setTexel(x, y, {100, 100, 100, 255});
+    return img;
+}
+
+SampleCoords
+coordsAt(float angle, float du = 0.02f, float dv = 0.02f)
+{
+    SampleCoords c;
+    c.uv = {0.4f, 0.4f};
+    c.ddx = {du, 0};
+    c.ddy = {0, dv};
+    c.cameraAngle = angle;
+    return c;
+}
+
+TEST(CanonicalLod, AnisoRatioIsPowerOfTwo)
+{
+    Texture t("t", flat(256), 0x0);
+    for (float a = 0.0f; a < 1.55f; a += 0.01f) {
+        LodInfo lod = computeLod(t, coordsAt(a), 16);
+        unsigned n = lod.anisoRatio;
+        EXPECT_EQ(n & (n - 1), 0u) << "angle " << a;
+        EXPECT_LE(n, 16u);
+    }
+}
+
+TEST(CanonicalLod, AngleDrivesAnisotropy)
+{
+    Texture t("t", flat(256), 0x0);
+    // Face-on: isotropic; grazing: maximum anisotropy.
+    EXPECT_EQ(computeLod(t, coordsAt(0.05f), 16).anisoRatio, 1u);
+    EXPECT_EQ(computeLod(t, coordsAt(1.5f), 16).anisoRatio, 16u);
+    // Monotone non-decreasing in the angle.
+    unsigned prev = 1;
+    for (float a = 0.0f; a < 1.55f; a += 0.02f) {
+        unsigned n = computeLod(t, coordsAt(a), 16).anisoRatio;
+        EXPECT_GE(n, prev);
+        prev = n;
+    }
+}
+
+TEST(CanonicalLod, SameAngleBucketSameFootprint)
+{
+    // Two fragments whose camera angles land in the same 1-degree
+    // storage bucket derive identical (N, span) even if their raw
+    // derivative lengths differ — the property that makes same-angle
+    // A-TFIM reuse exact.
+    Texture t("t", flat(256), 0x0);
+    float a = 1.2f;
+    LodInfo x = computeLod(t, coordsAt(a, 0.020f, 0.020f), 16);
+    LodInfo y = computeLod(t, coordsAt(a + 0.002f, 0.023f, 0.023f), 16);
+    EXPECT_EQ(x.anisoRatio, y.anisoRatio);
+    EXPECT_FLOAT_EQ(x.footprintSpan, y.footprintSpan);
+}
+
+TEST(CanonicalLod, DirectionQuantizedToCompassBuckets)
+{
+    Texture t("t", flat(256), 0x0);
+    // Two nearly identical directions land on the same bucket center.
+    SampleCoords c1 = coordsAt(0.0f, 0.03f, 0.002f);
+    SampleCoords c2 = coordsAt(0.0f, 0.03f, 0.002f);
+    c1.ddx.y = 0.001f;
+    c2.ddx.y = 0.002f;
+    LodInfo l1 = computeLod(t, c1, 16);
+    LodInfo l2 = computeLod(t, c2, 16);
+    EXPECT_FLOAT_EQ(l1.majorDirUv.x, l2.majorDirUv.x);
+    EXPECT_FLOAT_EQ(l1.majorDirUv.y, l2.majorDirUv.y);
+    // And bucket centers are unit vectors.
+    EXPECT_NEAR(l1.majorDirUv.length(), 1.0f, 1e-5f);
+}
+
+TEST(CanonicalLod, SpanFollowsAngleContinuously)
+{
+    // Within one pow2 N band the span still varies with the angle, so
+    // cross-bucket reuse shows real filtering differences (Fig. 15's
+    // quality gradient needs this).
+    Texture t("t", flat(256), 0x0);
+    float span_lo = computeLod(t, coordsAt(1.19f), 16).footprintSpan;
+    float span_hi = computeLod(t, coordsAt(1.30f), 16).footprintSpan;
+    EXPECT_GT(span_hi, span_lo);
+}
+
+TEST(CanonicalLod, FallbackUsesDerivativesWhenNoAngle)
+{
+    Texture t("t", flat(256), 0x0);
+    SampleCoords c;
+    c.uv = {0.5f, 0.5f};
+    c.ddx = {16.0f / 256, 0};
+    c.ddy = {0, 2.0f / 256};
+    c.cameraAngle = 0.0f; // "no angle known"
+    LodInfo lod = computeLod(t, c, 16);
+    EXPECT_EQ(lod.anisoRatio, 8u); // 8:1 footprint
+}
+
+TEST(CanonicalLod, MaxAnisoCapsEverything)
+{
+    Texture t("t", flat(256), 0x0);
+    LodInfo lod = computeLod(t, coordsAt(1.55f), 4);
+    EXPECT_LE(lod.anisoRatio, 4u);
+    EXPECT_LE(lod.footprintSpan, 4.0f + 1e-4f);
+}
+
+} // namespace
+} // namespace texpim
