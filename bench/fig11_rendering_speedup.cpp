@@ -28,7 +28,9 @@ main(int argc, char **argv)
     auto base_metric = metricOf(b, frame);
 
     ResultTable table("3D rendering speedup (x)", workloadLabels(opt));
+    std::vector<MetricSeries> series;
     table.addColumn("Baseline", ratio(base_metric, base_metric));
+    series.push_back({"Baseline", ratio(base_metric, base_metric)});
     for (Design d : {Design::BPim, Design::STfim, Design::ATfim}) {
         SimConfig cfg;
         cfg.design = d;
@@ -37,8 +39,11 @@ main(int argc, char **argv)
         std::string name = designName(d);
         if (d == Design::ATfim)
             name += "-001pi";
-        table.addColumn(name, ratio(base_metric, metricOf(r, frame)));
+        auto speedup = ratio(base_metric, metricOf(r, frame));
+        table.addColumn(name, speedup);
+        series.push_back({name, speedup});
     }
     table.print(std::cout);
+    emitMetricsJson("fig11_rendering_speedup", workloadLabels(opt), series);
     return 0;
 }

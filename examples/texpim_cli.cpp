@@ -9,18 +9,33 @@
  *   texpim compare <game> [key=value ...]
  *   texpim frames  <game> <count> [key=value ...]
  *   texpim config  [key=value ...]
+ *   texpim stats   [key=value ...]
  *
  * Recognized keys: every SimConfig key (design=..., gpu.*, hmc.*,
  * gddr5.*, atfim.*, energy.*, pim.*) plus:
  *   width=, height=, frame=, seed=, max_aniso=, out=<frame.ppm>,
  *   compress=true (BC1 textures)
+ *
+ * Observability keys (see README "Observability"):
+ *   stats_out=<file.json|.csv>  structured export of every registered
+ *                               statistic after the run (render also
+ *                               embeds the per-frame SimResult)
+ *   trace_out=<file.json>       cycle-level Chrome trace-event file
+ *                               (load in chrome://tracing or Perfetto)
+ *   trace_cap=<N>               trace event cap (default 1000000)
  */
 
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/stat_export.hh"
+#include "common/stat_registry.hh"
+#include "common/trace_events.hh"
 #include "quality/image_metrics.hh"
 #include "scene/trace.hh"
 #include "sim/experiment.hh"
@@ -93,6 +108,64 @@ printResult(const char *tag, const SimResult &r)
                 (unsigned long long)r.angleRecalcs);
 }
 
+/** Start event tracing when trace_out= is present. */
+void
+beginTracing(const Config &cfg)
+{
+    std::string out = cfg.getString("trace_out", "");
+    if (out.empty())
+        return;
+#if !TEXPIM_TRACING
+    TEXPIM_FATAL("trace_out= requires a build with -DTEXPIM_TRACING=ON");
+#endif
+    TraceEvents::instance().enable(
+        out, u64(cfg.getInt("trace_cap",
+                            i64(TraceEvents::kDefaultEventCap))));
+}
+
+/** Stop tracing and write the trace file, if tracing was on. */
+void
+endTracing()
+{
+    TraceEvents &t = TraceEvents::instance();
+    if (!TraceEvents::active())
+        return;
+    t.disable();
+    std::printf("wrote %s (%llu events, %llu dropped)\n", t.path().c_str(),
+                (unsigned long long)t.recorded(),
+                (unsigned long long)t.dropped());
+}
+
+bool
+isCsvPath(const std::string &path)
+{
+    return path.size() >= 4 &&
+           path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+/** Export every registered stat group, optionally embedding a
+ *  SimResult summary (JSON only). */
+void
+exportStats(const std::string &path, const SimResult *result)
+{
+    if (isCsvPath(path) || result == nullptr) {
+        writeStatsFile(path);
+    } else {
+        JsonWriter w;
+        w.beginObject();
+        w.keyValue("schema", "texpim-stats-v1");
+        w.key("result");
+        writeSimResultJson(w, *result);
+        w.key("groups").beginArray();
+        for (const auto &[display, g] : StatRegistry::instance().groups())
+            writeGroupJson(w, display, *g);
+        w.endArray();
+        w.endObject();
+        writeTextFile(path, w.str());
+    }
+    std::printf("wrote %s\n", path.c_str());
+}
+
 int
 cmdRender(int argc, char **argv)
 {
@@ -102,14 +175,31 @@ cmdRender(int argc, char **argv)
     Scene scene = loadScene(argv[2], cfg);
     SimConfig sc = SimConfig::fromConfig(cfg);
     RenderingSimulator sim(sc);
+    beginTracing(cfg);
     SimResult r = sim.renderScene(scene);
+    endTracing();
     printResult(designName(sc.design), r);
+    std::string stats_out = cfg.getString("stats_out", "");
+    if (!stats_out.empty())
+        exportStats(stats_out, &r);
     std::string out = cfg.getString("out", "");
     if (!out.empty()) {
         writePpm(*r.image, out);
         std::printf("wrote %s\n", out.c_str());
     }
     return 0;
+}
+
+/** "dir/stats.json" + "atfim" -> "dir/stats-atfim.json". */
+std::string
+perDesignPath(const std::string &path, const char *design)
+{
+    size_t dot = path.find_last_of('.');
+    size_t slash = path.find_last_of('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "-" + design;
+    return path.substr(0, dot) + "-" + design + path.substr(dot);
 }
 
 int
@@ -119,6 +209,8 @@ cmdCompare(int argc, char **argv)
         TEXPIM_FATAL("usage: texpim compare <game|trace> [key=value ...]");
     Config cfg = collectConfig(argc, argv, 3);
     Scene scene = loadScene(argv[2], cfg);
+    std::string stats_out = cfg.getString("stats_out", "");
+    beginTracing(cfg);
 
     SimResult base;
     for (Design d : {Design::Baseline, Design::BPim, Design::STfim,
@@ -139,7 +231,11 @@ cmdCompare(int argc, char **argv)
                             double(r.textureFilterCycles),
                         psnr(*base.image, *r.image));
         }
+        // Per-design stats file while this design's groups are live.
+        if (!stats_out.empty())
+            exportStats(perDesignPath(stats_out, designName(d)), &r);
     }
+    endTracing();
     return 0;
 }
 
@@ -158,14 +254,21 @@ cmdFrames(int argc, char **argv)
                 unsigned(cfg.getInt("height", 480))};
     SimConfig sc = SimConfig::fromConfig(cfg);
     RenderingSimulator sim(sc);
+    beginTracing(cfg);
     auto frames = sim.renderSequence(wl, count,
                                      unsigned(cfg.getInt("frame", 0)),
                                      u64(cfg.getInt("seed", 0x7e01d)));
+    endTracing();
     for (unsigned f = 0; f < frames.size(); ++f) {
         char tag[32];
         std::snprintf(tag, sizeof tag, "frame %u", f);
         printResult(tag, frames[f]);
     }
+    // Component stats are reset per frame in renderSequence, so the
+    // export reflects the final frame; the embedded result matches.
+    std::string stats_out = cfg.getString("stats_out", "");
+    if (!stats_out.empty())
+        exportStats(stats_out, frames.empty() ? nullptr : &frames.back());
     return 0;
 }
 
@@ -194,14 +297,58 @@ cmdConfig(int argc, char **argv)
     return 0;
 }
 
+int
+cmdStats(int argc, char **argv)
+{
+    Config cfg = collectConfig(argc, argv, 2);
+
+    // Instantiate every design point so each component registers its
+    // statistics (with descriptions) in the global registry.
+    std::vector<std::unique_ptr<RenderingSimulator>> sims;
+    for (Design d : {Design::Baseline, Design::BPim, Design::STfim,
+                     Design::ATfim}) {
+        SimConfig sc = SimConfig::fromConfig(cfg);
+        sc.design = d;
+        sims.push_back(std::make_unique<RenderingSimulator>(sc));
+    }
+
+    // Dedup by (group, stat): the four designs share components.
+    std::map<std::pair<std::string, std::string>,
+             std::pair<const char *, std::string>>
+        rows;
+    for (const auto &[display, g] : StatRegistry::instance().groups()) {
+        for (const auto &kv : g->counters())
+            rows[{g->name(), kv.first}] = {"counter",
+                                           g->description(kv.first)};
+        for (const auto &kv : g->averages())
+            rows[{g->name(), kv.first}] = {"average",
+                                           g->description(kv.first)};
+        for (const auto &kv : g->histograms())
+            rows[{g->name(), kv.first}] = {"histogram",
+                                           g->description(kv.first)};
+    }
+
+    std::printf("%-44s %-10s %s\n", "statistic", "kind", "description");
+    std::printf("%-44s %-10s %s\n", "---------", "----", "-----------");
+    for (const auto &[key, row] : rows) {
+        std::string full = key.first + "." + key.second;
+        std::printf("%-44s %-10s %s\n", full.c_str(), row.first,
+                    row.second.c_str());
+    }
+    std::printf("\n%zu statistics in %zu groups (stats registered at "
+                "construction; more appear once a frame renders)\n",
+                rows.size(), StatRegistry::instance().size());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: texpim <render|compare|frames|config> ...\n");
+        std::fprintf(stderr, "usage: texpim "
+                             "<render|compare|frames|config|stats> ...\n");
         return 2;
     }
     std::string cmd = argv[1];
@@ -213,5 +360,7 @@ main(int argc, char **argv)
         return cmdFrames(argc, argv);
     if (cmd == "config")
         return cmdConfig(argc, argv);
+    if (cmd == "stats")
+        return cmdStats(argc, argv);
     TEXPIM_FATAL("unknown command '", cmd, "'");
 }

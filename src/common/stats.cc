@@ -4,6 +4,7 @@
 #include <iomanip>
 
 #include "common/logging.hh"
+#include "common/stat_registry.hh"
 
 namespace texpim {
 
@@ -33,6 +34,27 @@ StatHistogram::sample(double v)
     ++counts_[size_t(idx)];
 }
 
+double
+StatHistogram::percentile(double p) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    double target = p * double(samples_);
+    double width = (hi_ - lo_) / double(counts_.size());
+    double cum = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        double c = double(counts_[i]);
+        if (c > 0.0 && cum + c >= target) {
+            double frac = (target - cum) / c;
+            double v = lo_ + (double(i) + frac) * width;
+            return std::clamp(v, min_, max_);
+        }
+        cum += c;
+    }
+    return max_;
+}
+
 void
 StatHistogram::reset()
 {
@@ -42,25 +64,50 @@ StatHistogram::reset()
     min_ = max_ = 0.0;
 }
 
-StatCounter &
-StatGroup::counter(const std::string &name)
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
 {
+    StatRegistry::instance().add(this);
+}
+
+StatGroup::~StatGroup()
+{
+    StatRegistry::instance().remove(this);
+}
+
+StatCounter &
+StatGroup::counter(const std::string &name, const std::string &desc)
+{
+    if (!desc.empty())
+        descriptions_.emplace(name, desc);
     return counters_[name];
 }
 
 StatAverage &
-StatGroup::average(const std::string &name)
+StatGroup::average(const std::string &name, const std::string &desc)
 {
+    if (!desc.empty())
+        descriptions_.emplace(name, desc);
     return averages_[name];
 }
 
 StatHistogram &
 StatGroup::histogram(const std::string &name, double lo, double hi,
-                     unsigned buckets)
+                     unsigned buckets, const std::string &desc)
 {
+    if (!desc.empty())
+        descriptions_.emplace(name, desc);
     auto it = histograms_.find(name);
-    if (it == histograms_.end())
+    if (it == histograms_.end()) {
         it = histograms_.emplace(name, StatHistogram(lo, hi, buckets)).first;
+    } else {
+        TEXPIM_ASSERT(it->second.lo() == lo && it->second.hi() == hi &&
+                          it->second.buckets() == buckets,
+                      "histogram '", name, "' in group '", name_,
+                      "' re-registered with different shape: have [",
+                      it->second.lo(), ", ", it->second.hi(), ")x",
+                      it->second.buckets(), ", got [", lo, ", ", hi, ")x",
+                      buckets);
+    }
     return it->second;
 }
 
@@ -77,6 +124,29 @@ bool
 StatGroup::hasCounter(const std::string &name) const
 {
     return counters_.count(name) != 0;
+}
+
+const StatAverage &
+StatGroup::findAverage(const std::string &name) const
+{
+    auto it = averages_.find(name);
+    TEXPIM_ASSERT(it != averages_.end(),
+                  "no average '", name, "' in group '", name_, "'");
+    return it->second;
+}
+
+bool
+StatGroup::hasAverage(const std::string &name) const
+{
+    return averages_.count(name) != 0;
+}
+
+const std::string &
+StatGroup::description(const std::string &name) const
+{
+    static const std::string empty;
+    auto it = descriptions_.find(name);
+    return it != descriptions_.end() ? it->second : empty;
 }
 
 void

@@ -4,9 +4,13 @@
  * averages and fixed-bucket histograms grouped under a StatGroup.
  *
  * Components own a StatGroup and register their statistics once at
- * construction; the group can be reset per frame and dumped in a
- * human-readable table. The design deliberately mirrors the feel of
- * gem5's stats package at a fraction of the complexity.
+ * construction (ideally with a description, which makes `texpim stats`
+ * and the JSON export self-documenting); the group can be reset per
+ * frame and dumped in a human-readable table. Every StatGroup
+ * auto-registers with the global StatRegistry (stat_registry.hh) for
+ * hierarchical enumeration and structured export (stat_export.hh). The
+ * design deliberately mirrors the feel of gem5's stats package at a
+ * fraction of the complexity.
  */
 
 #ifndef TEXPIM_COMMON_STATS_HH
@@ -75,6 +79,18 @@ class StatHistogram
     double mean() const { return samples_ ? sum_ / double(samples_) : 0.0; }
     double min() const { return min_; }
     double max() const { return max_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /**
+     * Estimate the p-quantile (p in [0, 1]) by linear interpolation
+     * within the bucket that holds the target sample. The estimate is
+     * clamped to the observed [min(), max()] so the saturating end
+     * buckets cannot push it outside the sampled range. Returns 0 when
+     * the histogram is empty.
+     */
+    double percentile(double p) const;
+
     void reset();
 
   private:
@@ -91,25 +107,59 @@ class StatHistogram
  * A registry of named statistics belonging to one component.
  *
  * Registration returns a reference that stays valid for the lifetime of
- * the group (node-based storage).
+ * the group (node-based storage). The optional description is recorded
+ * on first non-empty mention; hot-path re-lookups pass no description.
+ *
+ * Construction registers the group with StatRegistry::instance();
+ * destruction unregisters it.
  */
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+    explicit StatGroup(std::string name);
+    ~StatGroup();
 
     StatGroup(const StatGroup &) = delete;
     StatGroup &operator=(const StatGroup &) = delete;
 
-    StatCounter &counter(const std::string &name);
-    StatAverage &average(const std::string &name);
+    StatCounter &counter(const std::string &name,
+                         const std::string &desc = "");
+    StatAverage &average(const std::string &name,
+                         const std::string &desc = "");
+
+    /**
+     * Register (or re-find) a histogram. Re-registering an existing
+     * name with different bounds or bucket count is a panic: silently
+     * handing back the old shape would misattribute every later
+     * sample.
+     */
     StatHistogram &histogram(const std::string &name, double lo, double hi,
-                             unsigned buckets);
+                             unsigned buckets, const std::string &desc = "");
 
     /** Look up an existing counter; panics if absent. */
     const StatCounter &findCounter(const std::string &name) const;
-
     bool hasCounter(const std::string &name) const;
+
+    /** Look up an existing average; panics if absent. */
+    const StatAverage &findAverage(const std::string &name) const;
+    bool hasAverage(const std::string &name) const;
+
+    /** Description recorded for a stat ("" when none was given). */
+    const std::string &description(const std::string &name) const;
+
+    /** Enumeration for the registry / exporters (sorted by name). */
+    const std::map<std::string, StatCounter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, StatAverage> &averages() const
+    {
+        return averages_;
+    }
+    const std::map<std::string, StatHistogram> &histograms() const
+    {
+        return histograms_;
+    }
 
     const std::string &name() const { return name_; }
 
@@ -124,6 +174,7 @@ class StatGroup
     std::map<std::string, StatCounter> counters_;
     std::map<std::string, StatAverage> averages_;
     std::map<std::string, StatHistogram> histograms_;
+    std::map<std::string, std::string> descriptions_;
 };
 
 } // namespace texpim

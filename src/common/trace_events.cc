@@ -1,0 +1,132 @@
+#include "common/trace_events.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stat_export.hh"
+
+namespace texpim {
+
+TraceEvents &
+TraceEvents::instance()
+{
+    static TraceEvents tracer;
+    return tracer;
+}
+
+void
+TraceEvents::enable(const std::string &path, u64 max_events)
+{
+    TEXPIM_ASSERT(max_events > 0, "trace event cap must be positive");
+    events_.clear();
+    events_.reserve(size_t(std::min<u64>(max_events, 1u << 20)));
+    path_ = path;
+    cap_ = max_events;
+    dropped_ = 0;
+    active_ = true;
+}
+
+void
+TraceEvents::disable()
+{
+    if (!active_)
+        return;
+    active_ = false;
+    if (!path_.empty())
+        flush();
+    if (dropped_ > 0)
+        TEXPIM_WARN("trace event cap reached: dropped ", dropped_,
+                    " events (raise trace_cap=N)");
+}
+
+void
+TraceEvents::flush() const
+{
+    writeTextFile(path_, toJson());
+}
+
+bool
+TraceEvents::reserve(u64 n)
+{
+    if (events_.size() + n > cap_) {
+        dropped_ += n;
+        return false;
+    }
+    return true;
+}
+
+void
+TraceEvents::span(const char *cat, const char *name, u32 tid, Cycle begin,
+                  Cycle end)
+{
+    // Emitted as an atomic pair so B/E events always balance, even
+    // when the cap truncates the trace.
+    if (!reserve(2))
+        return;
+    events_.push_back(Event{'B', tid, cat, name, begin, 0, 0.0});
+    events_.push_back(Event{'E', tid, cat, name, end, 0, 0.0});
+}
+
+void
+TraceEvents::complete(const char *cat, const char *name, u32 tid, Cycle ts,
+                      Cycle dur)
+{
+    if (!reserve(1))
+        return;
+    events_.push_back(Event{'X', tid, cat, name, ts, dur, 0.0});
+}
+
+void
+TraceEvents::instant(const char *cat, const char *name, u32 tid, Cycle ts)
+{
+    if (!reserve(1))
+        return;
+    events_.push_back(Event{'i', tid, cat, name, ts, 0, 0.0});
+}
+
+void
+TraceEvents::counter(const char *cat, const char *name, Cycle ts,
+                     double value)
+{
+    if (!reserve(1))
+        return;
+    events_.push_back(Event{'C', 0, cat, name, ts, 0, value});
+}
+
+std::string
+TraceEvents::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.keyValue("displayTimeUnit", "ms");
+    w.key("otherData").beginObject();
+    w.keyValue("tool", "texpim");
+    w.keyValue("clock", "gpu-core-cycles");
+    w.keyValue("dropped_events", dropped_);
+    w.endObject();
+    w.key("traceEvents").beginArray();
+    for (const Event &e : events_) {
+        w.beginObject();
+        w.keyValue("ph", std::string(1, e.ph));
+        w.keyValue("cat", e.cat);
+        w.keyValue("name", e.name);
+        w.keyValue("pid", 0);
+        w.keyValue("tid", e.tid);
+        w.keyValue("ts", e.ts);
+        if (e.ph == 'X')
+            w.keyValue("dur", e.dur);
+        if (e.ph == 'i')
+            w.keyValue("s", "t"); // thread-scoped instant
+        if (e.ph == 'C') {
+            w.key("args").beginObject();
+            w.keyValue("value", e.value);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace texpim

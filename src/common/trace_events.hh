@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Cycle-level event tracing in the Chrome trace-event JSON format
+ * (loadable in chrome://tracing and Perfetto).
+ *
+ * The simulator's hot paths are instrumented with the TEXPIM_TRACE_*
+ * macros below. The zero-overhead-when-disabled contract has two
+ * layers:
+ *
+ *  - compile time: building with -DTEXPIM_TRACING=0 compiles every
+ *    macro to nothing (the `TEXPIM_TRACING` CMake option);
+ *  - run time: with tracing compiled in but not enabled, each macro
+ *    costs a single predictable branch on a global flag — no virtual
+ *    call, no allocation, no lock (the simulator is single-threaded).
+ *
+ * Timestamps are GPU core cycles emitted as-is in the "ts" field
+ * (1 cycle displays as 1 us in the viewers). Event kinds used:
+ *
+ *  - span():     a B/E duration pair, emitted atomically once the end
+ *                cycle is known, so traces always have balanced B/E
+ *                events. Use only for spans that do not overlap other
+ *                spans on the same (pid, tid) track.
+ *  - complete(): a single "X" event with a duration — safe for
+ *                overlapping work (texture requests in flight, DRAM
+ *                accesses).
+ *  - instant():  a point event ("i").
+ *  - counter():  a "C" counter track sample.
+ *
+ * Events are buffered in memory and written as one JSON document when
+ * the tracer is disabled (or flushed); an event cap bounds the buffer,
+ * with the overflow counted in dropped(). Category and name strings
+ * must be string literals (the tracer stores the pointers).
+ */
+
+#ifndef TEXPIM_COMMON_TRACE_EVENTS_HH
+#define TEXPIM_COMMON_TRACE_EVENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+#ifndef TEXPIM_TRACING
+#define TEXPIM_TRACING 1
+#endif
+
+namespace texpim {
+
+class TraceEvents
+{
+  public:
+    static constexpr u64 kDefaultEventCap = 1'000'000;
+
+    static TraceEvents &instance();
+
+    /** Fast path guard read by the macros. */
+    static bool active() { return active_; }
+
+    /**
+     * Start recording into an in-memory buffer destined for `path`.
+     * At most `max_events` JSON events are kept (a span counts as
+     * two); the rest are dropped and counted.
+     */
+    void enable(const std::string &path,
+                u64 max_events = kDefaultEventCap);
+
+    /** Stop recording and write the trace file (no-op when idle). */
+    void disable();
+
+    /** Write the current buffer to the output path without stopping. */
+    void flush() const;
+
+    /** Serialize the current buffer as a Chrome-trace JSON document. */
+    std::string toJson() const;
+
+    u64 recorded() const { return events_.size(); }
+    u64 dropped() const { return dropped_; }
+    const std::string &path() const { return path_; }
+
+    void span(const char *cat, const char *name, u32 tid, Cycle begin,
+              Cycle end);
+    void complete(const char *cat, const char *name, u32 tid, Cycle ts,
+                  Cycle dur);
+    void instant(const char *cat, const char *name, u32 tid, Cycle ts);
+    void counter(const char *cat, const char *name, Cycle ts, double value);
+
+  private:
+    TraceEvents() = default;
+
+    struct Event
+    {
+        char ph;         //!< 'B', 'E', 'X', 'i' or 'C'
+        u32 tid;
+        const char *cat; //!< literal; not owned
+        const char *name;
+        u64 ts;
+        u64 dur;         //!< 'X' only
+        double value;    //!< 'C' only
+    };
+
+    bool reserve(u64 n);
+
+    inline static bool active_ = false;
+
+    std::vector<Event> events_;
+    std::string path_;
+    u64 cap_ = kDefaultEventCap;
+    u64 dropped_ = 0;
+};
+
+} // namespace texpim
+
+#if TEXPIM_TRACING
+
+#define TEXPIM_TRACE_SPAN(cat, name, tid, begin, end) \
+    do { \
+        if (::texpim::TraceEvents::active()) \
+            ::texpim::TraceEvents::instance().span(cat, name, tid, begin, \
+                                                   end); \
+    } while (0)
+
+#define TEXPIM_TRACE_COMPLETE(cat, name, tid, ts, dur) \
+    do { \
+        if (::texpim::TraceEvents::active()) \
+            ::texpim::TraceEvents::instance().complete(cat, name, tid, ts, \
+                                                       dur); \
+    } while (0)
+
+#define TEXPIM_TRACE_INSTANT(cat, name, tid, ts) \
+    do { \
+        if (::texpim::TraceEvents::active()) \
+            ::texpim::TraceEvents::instance().instant(cat, name, tid, ts); \
+    } while (0)
+
+#define TEXPIM_TRACE_COUNTER(cat, name, ts, value) \
+    do { \
+        if (::texpim::TraceEvents::active()) \
+            ::texpim::TraceEvents::instance().counter(cat, name, ts, value); \
+    } while (0)
+
+#else
+
+#define TEXPIM_TRACE_SPAN(cat, name, tid, begin, end) ((void)0)
+#define TEXPIM_TRACE_COMPLETE(cat, name, tid, ts, dur) ((void)0)
+#define TEXPIM_TRACE_INSTANT(cat, name, tid, ts) ((void)0)
+#define TEXPIM_TRACE_COUNTER(cat, name, ts, value) ((void)0)
+
+#endif // TEXPIM_TRACING
+
+#endif // TEXPIM_COMMON_TRACE_EVENTS_HH

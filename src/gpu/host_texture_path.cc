@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/trace_events.hh"
 
 namespace texpim {
 
@@ -16,6 +17,23 @@ HostTexturePath::HostTexturePath(const GpuParams &params, MemorySystem &mem)
     for (unsigned c = 0; c < params_.clusters; ++c)
         l1_.push_back(std::make_unique<TagCache>(
             "tex_l1_" + std::to_string(c), params_.texL1));
+
+    stats_.counter("l1_hits", "texture L1 line hits");
+    stats_.counter("l1_misses", "texture L1 line misses");
+    stats_.counter("l2_hits", "texture L2 line hits");
+    stats_.counter("l2_misses", "texture L2 line misses");
+    stats_.counter("mshr_merges",
+                   "misses merged into an outstanding line fetch");
+    stats_.counter("texels", "texels consumed by filtering");
+    stats_.counter("lines", "distinct cache lines touched per request");
+    stats_.counter("addr_ops", "texture address-generation ALU ops");
+    stats_.counter("filter_ops", "texture filtering ALU ops");
+    stats_.counter("aniso_samples",
+                   "sum of anisotropy ratios over requests");
+    stats_.average("lat_total", "request latency, issue to complete");
+    stats_.average("lat_unit_wait",
+                   "wait for the per-cluster texture unit");
+    stats_.average("lat_mem", "memory portion of the request latency");
 }
 
 TexResponse
@@ -69,12 +87,16 @@ HostTexturePath::process(const TexRequest &req)
             continue;
         }
         ++stats_.counter("l2_misses");
+        TEXPIM_TRACE_INSTANT("texture", "l2_miss", 100 + req.clusterId, t0);
         Cycle mem_at = l2_at + params_.texL2HitLatency;
         Cycle done = outstanding_.lookup(line, mem_at);
         if (done == kNeverCycle) {
             done = mem_.read(line, l1.lineBytes(), TrafficClass::Texture,
                              mem_at);
             outstanding_.insert(line, done);
+            TEXPIM_TRACE_COMPLETE("texture", "line_fill",
+                                  100 + req.clusterId, mem_at,
+                                  done - mem_at);
         } else {
             ++stats_.counter("mshr_merges");
         }
@@ -108,6 +130,8 @@ HostTexturePath::process(const TexRequest &req)
     stats_.average("lat_total").sample(double(complete - req.issue));
     stats_.average("lat_unit_wait").sample(double(start - req.issue));
     stats_.average("lat_mem").sample(double(data_ready - t0));
+    TEXPIM_TRACE_COMPLETE("texture", "tex_request", 100 + req.clusterId,
+                          start, complete - start);
     recordRequest(req.wanted ? req.wanted : req.issue, complete);
 
     return {scratch_.color, complete};

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/trace_events.hh"
 
 namespace texpim {
 
@@ -62,6 +63,23 @@ Renderer::Renderer(const GpuParams &params, MemorySystem &mem,
 {
     TEXPIM_ASSERT(params_.clusters > 0 && params_.shadersPerCluster > 0,
                   "GPU needs clusters and shaders");
+
+    stats_.counter("frames", "frames rendered through this pipeline");
+    stats_.counter("fragments_shaded",
+                   "fragments that passed early Z and were shaded");
+    stats_.counter("fragments_early_z_killed",
+                   "fragments rejected by the early-Z test");
+    stats_.counter("triangles_setup",
+                   "triangles surviving clipping and setup");
+    stats_.counter("hier_z_skipped",
+                   "triangles skipped by hierarchical Z over full tiles");
+    stats_.counter("end_compute",
+                   "cycle the last cluster drained its compute frontier");
+    stats_.counter("end_windows",
+                   "cycle the last in-flight texture request retired");
+    stats_.counter("end_rop", "cycle the last ROP writeback drained");
+    stats_.histogram("tile_cycles", 0.0, 65536.0, 64,
+                     "per-tile processing time in cycles");
 }
 
 Cycle
@@ -133,6 +151,9 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
     std::vector<SetupTriangle> tris;
     Cycle geom_end = geometryPhase(scene, tris, fs);
     fs.geometryCycles = geom_end;
+    // Track (tid) layout: 0..clusters-1 raster tiles, 100+ texture
+    // path, 200+ DRAM, 300+ PIM logic, 1000/1001 frame and geometry.
+    TEXPIM_TRACE_SPAN("raster", "geometry_phase", 1001, 0, geom_end);
 
     unsigned width = scene.settings.width;
     unsigned height = scene.settings.height;
@@ -379,6 +400,14 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
         // drains outstanding responses and ROP writebacks at the end.
         cluster_time[cluster] =
             std::max(alu_frontier + kill_cycles, issue_frontier);
+
+        stats_.histogram("tile_cycles", 0.0, 65536.0, 64)
+            .sample(double(cluster_time[cluster] - tile_start));
+        TEXPIM_TRACE_SPAN("raster", "tile", cluster, tile_start,
+                          cluster_time[cluster]);
+        TEXPIM_TRACE_COUNTER("raster", "fragments_shaded",
+                             cluster_time[cluster],
+                             double(fs.fragmentsShaded));
     }
 
     Cycle end_compute = geom_end;
@@ -415,6 +444,10 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
     stats_.counter("fragments_early_z_killed") += fs.fragmentsEarlyZKilled;
     stats_.counter("triangles_setup") += fs.trianglesSetup;
     stats_.counter("hier_z_skipped") += fs.hierZTrianglesSkipped;
+
+    TEXPIM_TRACE_SPAN("frame", "render_frame", 1000, 0, frame_end);
+    TEXPIM_TRACE_COUNTER("frame", "frame_cycles", frame_end,
+                         double(frame_end));
 
     return fs;
 }

@@ -53,7 +53,13 @@ struct TexResponse
 class TexturePath
 {
   public:
-    explicit TexturePath(std::string name) : stats_(std::move(name)) {}
+    explicit TexturePath(std::string name) : stats_(std::move(name))
+    {
+        stats_.histogram("latency", 0.0, kLatencyHistHi,
+                         kLatencyHistBuckets,
+                         "per-request filtering latency (request to final "
+                         "texture output), cycles");
+    }
     virtual ~TexturePath() = default;
 
     TexturePath(const TexturePath &) = delete;
@@ -83,11 +89,16 @@ class TexturePath
     }
 
   protected:
+    static constexpr double kLatencyHistHi = 8192.0;
+    static constexpr unsigned kLatencyHistBuckets = 64;
+
     void
     recordRequest(Cycle issue, Cycle complete)
     {
         ++requests_;
         latency_sum_ += complete - issue;
+        stats_.histogram("latency", 0.0, kLatencyHistHi, kLatencyHistBuckets)
+            .sample(double(complete - issue));
     }
 
     StatGroup stats_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/trace_events.hh"
 #include "common/units.hh"
 
 namespace texpim {
@@ -37,6 +38,17 @@ Gddr5Memory::Gddr5Memory(const Gddr5Params &params)
         ch.banks.assign(params_.banksPerChannel, DramBank(params_.timing));
         channels_.push_back(std::move(ch));
     }
+
+    stats_.counter("reads", "read transactions");
+    stats_.counter("writes", "write transactions");
+    stats_.counter("row_hits", "row-buffer hits");
+    stats_.counter("row_misses", "row-buffer misses (closed row)");
+    stats_.counter("row_conflicts", "row-buffer conflicts (wrong row open)");
+    stats_.average("bank_wait", "cycles waiting for a busy bank");
+    stats_.average("bus_wait", "cycles waiting for the channel bus");
+    stats_.average("latency", "end-to-end transaction latency, cycles");
+    stats_.histogram("latency_hist", 0.0, 2048.0, 64,
+                     "end-to-end transaction latency distribution");
 }
 
 void
@@ -100,8 +112,13 @@ Gddr5Memory::access(const MemRequest &req)
         break;
     }
     stats_.average("latency").sample(double(done - req.issue));
+    stats_.histogram("latency_hist", 0.0, 2048.0, 64)
+        .sample(double(done - req.issue));
     stats_.average(std::string("latency_") + trafficClassName(req.cls))
         .sample(double(done - req.issue));
+    TEXPIM_TRACE_COMPLETE("dram", "gddr5_access",
+                          u32(200 + fold % params_.channels), req.issue,
+                          done - req.issue);
 
     return done;
 }

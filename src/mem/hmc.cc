@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/trace_events.hh"
 #include "common/units.hh"
 
 namespace texpim {
@@ -71,6 +72,24 @@ HmcMemory::HmcMemory(const HmcParams &params)
             cube.vaults.push_back(std::move(vault));
         }
     }
+
+    stats_.counter("reads", "host read transactions");
+    stats_.counter("writes", "host write transactions");
+    stats_.counter("row_hits", "row-buffer hits");
+    stats_.counter("row_misses", "row-buffer misses (closed row)");
+    stats_.counter("row_conflicts", "row-buffer conflicts (wrong row open)");
+    stats_.counter("internal_reads",
+                   "logic-layer (PIM) reads that never cross the links");
+    stats_.counter("internal_writes", "logic-layer (PIM) writes");
+    stats_.counter("packages_to_device",
+                   "PIM offload packages sent over the transmit link");
+    stats_.counter("packages_to_host",
+                   "PIM response packages over the receive link");
+    stats_.average("latency", "host transaction latency, cycles");
+    stats_.average("internal_latency",
+                   "logic-layer access latency, cycles");
+    stats_.histogram("latency_hist", 0.0, 2048.0, 64,
+                     "host transaction latency distribution");
 }
 
 unsigned
@@ -117,8 +136,11 @@ HmcMemory::vaultAccess(Addr addr, u64 bytes, Cycle start,
     double agg_done =
         reserveBandwidth(cube.internalAgg, tsv_done, bytes, internal_bw_);
 
-    return Cycle(std::ceil(agg_done)) + params_.tsvLatency +
-           params_.switchLatency;
+    Cycle done = Cycle(std::ceil(agg_done)) + params_.tsvLatency +
+                 params_.switchLatency;
+    TEXPIM_TRACE_COMPLETE("dram", "vault_access", 200 + vidx, start,
+                          done - start);
+    return done;
 }
 
 void
@@ -180,6 +202,8 @@ HmcMemory::access(const MemRequest &req)
         break;
     }
     stats_.average("latency").sample(double(done - req.issue));
+    stats_.histogram("latency_hist", 0.0, 2048.0, 64)
+        .sample(double(done - req.issue));
 
     return done;
 }
@@ -208,7 +232,9 @@ HmcMemory::hostToDevice(u64 bytes, TrafficClass cls, Cycle now,
     double done = reserveBandwidth(cube.txLink, double(now), bytes, tx_bw_);
     countOffChip(cls, bytes);
     ++stats_.counter("packages_to_device");
-    return Cycle(std::ceil(done)) + params_.linkLatency;
+    Cycle arrive = Cycle(std::ceil(done)) + params_.linkLatency;
+    TEXPIM_TRACE_COMPLETE("pim", "pkg_to_device", 300, now, arrive - now);
+    return arrive;
 }
 
 Cycle
@@ -220,7 +246,9 @@ HmcMemory::deviceToHost(u64 bytes, TrafficClass cls, Cycle now,
     double done = reserveBandwidth(cube.rxLink, double(now), bytes, rx_bw_);
     countOffChip(cls, bytes);
     ++stats_.counter("packages_to_host");
-    return Cycle(std::ceil(done)) + params_.linkLatency;
+    Cycle arrive = Cycle(std::ceil(done)) + params_.linkLatency;
+    TEXPIM_TRACE_COMPLETE("pim", "pkg_to_host", 301, now, arrive - now);
+    return arrive;
 }
 
 void

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/trace_events.hh"
 
 namespace texpim {
 
@@ -21,6 +22,35 @@ AtfimTexturePath::AtfimTexturePath(const GpuParams &gpu,
     for (unsigned c = 0; c < gpu_.clusters; ++c)
         l1_.push_back(std::make_unique<TagCache>(
             "atfim_l1_" + std::to_string(c), gpu_.texL1));
+
+    stats_.counter("l1_hits", "angle-valid parent texel hits in L1");
+    stats_.counter("l1_misses", "parent texels absent from L1");
+    stats_.counter("l1_angle_recalcs",
+                   "L1 hits invalidated by the camera-angle threshold");
+    stats_.counter("l2_hits", "angle-valid parent texel hits in L2");
+    stats_.counter("l2_misses", "parent texels absent from L2");
+    stats_.counter("l2_angle_recalcs",
+                   "L2 hits invalidated by the camera-angle threshold");
+    stats_.counter("offload_packages",
+                   "compacted offload packages sent to the HMC");
+    stats_.counter("parents_offloaded",
+                   "parent texels recalculated in the HMC");
+    stats_.counter("children_generated",
+                   "child texels produced by the Texel Generator");
+    stats_.counter("child_blocks_fetched",
+                   "consolidated child-texel DRAM bursts");
+    stats_.counter("texel_gen_ops", "Texel Generator ALU ops");
+    stats_.counter("combine_ops", "Combination Unit ALU ops");
+    stats_.counter("parents", "parent texels requested");
+    stats_.counter("host_filter_ops",
+                   "host-side bilinear/trilinear ALU ops");
+    stats_.counter("addr_ops", "host address-generation ALU ops");
+    stats_.counter("reuse_mismatches",
+                   "reused parents differing visibly from fresh values");
+    stats_.counter("reuse_mismatch_same_children",
+                   "mismatches whose child set was identical");
+    stats_.average("reuse_error",
+                   "mean abs error of reused parent texels (0..1)");
 }
 
 TexResponse
@@ -208,6 +238,8 @@ AtfimTexturePath::process(const TexRequest &req)
                                        route);
         parents_ready = std::max(parents_ready, back);
 
+        TEXPIM_TRACE_COMPLETE("pim", "atfim_offload", 320 + req.clusterId,
+                              offload_at, back - offload_at);
         stats_.counter("offload_packages") += 1;
         stats_.counter("parents_offloaded") += n_miss;
         stats_.counter("children_generated") += total_children;

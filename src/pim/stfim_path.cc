@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace_events.hh"
 
 namespace texpim {
 
@@ -18,6 +19,14 @@ StfimTexturePath::StfimTexturePath(const GpuParams &gpu,
     mtus_.resize(gpu_.clusters);
     for (auto &m : mtus_)
         m.queueSlots.assign(mtu_params_.requestQueueEntries, 0);
+
+    stats_.counter("queue_stalls",
+                   "requests stalled on a full MTU request queue");
+    stats_.counter("texels", "texels fetched by the MTUs");
+    stats_.counter("dram_blocks", "coalesced DRAM bursts issued");
+    stats_.counter("packages", "request+response packages over the links");
+    stats_.counter("addr_ops", "MTU address-generation ALU ops");
+    stats_.counter("filter_ops", "MTU filtering ALU ops");
 }
 
 void
@@ -110,6 +119,8 @@ StfimTexturePath::process(const TexRequest &req)
     stats_.counter("packages") += 2;
     stats_.counter("addr_ops") += texels;
     stats_.counter("filter_ops") += scratch_.filterOps;
+    TEXPIM_TRACE_COMPLETE("pim", "mtu_filter", 320 + req.clusterId, start,
+                          filtered_at - start);
     recordRequest(req.wanted ? req.wanted : req.issue, complete);
 
     return {scratch_.color, complete};

@@ -1,9 +1,45 @@
 #include "sim/simulator.hh"
 
 #include "common/logging.hh"
+#include "common/stat_export.hh"
 #include "gpu/host_texture_path.hh"
 
 namespace texpim {
+
+void
+writeSimResultJson(JsonWriter &w, const SimResult &r)
+{
+    w.beginObject();
+    w.keyValue("frame_cycles", r.frame.frameCycles);
+    w.keyValue("geometry_cycles", r.frame.geometryCycles);
+    w.keyValue("texture_filter_cycles", r.textureFilterCycles);
+    w.keyValue("tex_requests", r.frame.texRequests);
+    w.keyValue("fragments_covered", r.frame.fragmentsCovered);
+    w.keyValue("fragments_shaded", r.frame.fragmentsShaded);
+    w.keyValue("fragments_early_z_killed", r.frame.fragmentsEarlyZKilled);
+    w.keyValue("triangles_setup", r.frame.trianglesSetup);
+    w.keyValue("tiles_processed", r.frame.tilesProcessed);
+    w.keyValue("avg_camera_angle_rad", r.frame.avgCameraAngleRad);
+    w.keyValue("avg_aniso_ratio", r.frame.avgAnisoRatio);
+    w.keyValue("off_chip_total_bytes", r.offChipTotalBytes);
+    w.keyValue("texture_traffic_bytes", r.textureTrafficBytes);
+    w.key("off_chip_bytes_by_class").beginObject();
+    for (unsigned c = 0; c < kNumTrafficClasses; ++c)
+        w.keyValue(trafficClassName(TrafficClass(c)),
+                   r.offChipBytesByClass[c]);
+    w.endObject();
+    w.key("energy_j").beginObject();
+    w.keyValue("shader", r.energy.shaderJ);
+    w.keyValue("texture", r.energy.textureJ);
+    w.keyValue("cache", r.energy.cacheJ);
+    w.keyValue("memory", r.energy.memoryJ);
+    w.keyValue("background", r.energy.backgroundJ);
+    w.keyValue("leakage", r.energy.leakageJ);
+    w.keyValue("total", r.energy.total());
+    w.endObject();
+    w.keyValue("angle_recalcs", r.angleRecalcs);
+    w.endObject();
+}
 
 SimConfig
 SimConfig::fromConfig(const Config &cfg)

@@ -69,6 +69,12 @@ struct SimResult
     std::shared_ptr<FrameBuffer> image;
 };
 
+class JsonWriter;
+
+/** Serialize one frame's results as a JSON object into `w` (for
+ *  stats_out files and bench metric emitters). */
+void writeSimResultJson(JsonWriter &w, const SimResult &r);
+
 class RenderingSimulator
 {
   public:

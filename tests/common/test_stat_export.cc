@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "common/stat_export.hh"
+
+namespace texpim {
+namespace {
+
+/** Find a group object by name in a parsed texpim-stats-v1 document. */
+const json::Value *
+findGroup(const json::Value &doc, const std::string &name)
+{
+    for (const json::Value &g : doc.at("groups").array)
+        if (g.at("name").string == name)
+            return &g;
+    return nullptr;
+}
+
+const json::Value *
+findNamed(const json::Value &arr, const std::string &name)
+{
+    for (const json::Value &v : arr.array)
+        if (v.at("name").string == name)
+            return &v;
+    return nullptr;
+}
+
+TEST(JsonWriter, ComposesNestedStructures)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.keyValue("a", 1);
+    w.key("b").beginArray().value(2.5).value("x").value(true).endArray();
+    w.key("c").beginObject().keyValue("d", u64(7)).endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[2.5,\"x\",true],\"c\":{\"d\":7}}");
+}
+
+TEST(JsonWriter, EscapesSpecials)
+{
+    JsonWriter w;
+    w.value(std::string("q\"b\\s\nnl\tt") + '\x01');
+    EXPECT_EQ(w.str(), "\"q\\\"b\\\\s\\nnl\\tt\\u0001\"");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.keyValue("num", 3.25);
+    w.keyValue("neg", i64(-4));
+    w.keyValue("str", "he\"llo\n");
+    w.keyValue("flag", false);
+    w.key("arr").beginArray().value(1).value(2).endArray();
+    w.endObject();
+
+    json::Value v = json::parse(w.str());
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.at("num").number, 3.25);
+    EXPECT_DOUBLE_EQ(v.at("neg").number, -4.0);
+    EXPECT_EQ(v.at("str").string, "he\"llo\n");
+    EXPECT_FALSE(v.at("flag").boolean);
+    ASSERT_EQ(v.at("arr").array.size(), 2u);
+    EXPECT_DOUBLE_EQ(v.at("arr").array[1].number, 2.0);
+    EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(JsonParseDeath, MalformedInputPanics)
+{
+    EXPECT_DEATH({ (void)json::parse("{\"a\":}"); }, "");
+    EXPECT_DEATH({ (void)json::parse("[1, 2"); }, "");
+    EXPECT_DEATH({ (void)json::parse("{} trailing"); }, "trailing");
+}
+
+TEST(StatExport, JsonRoundTripCoversEveryStatKind)
+{
+    StatGroup g("export_grp");
+    g.counter("hits", "cache hits") += 41;
+    g.average("lat", "latency").sample(10.0);
+    g.average("lat").sample(20.0);
+    StatHistogram &h = g.histogram("dist", 0.0, 10.0, 5, "a distribution");
+    h.sample(1.0);
+    h.sample(3.0);
+    h.sample(9.0);
+
+    json::Value doc = json::parse(statsToJson());
+    EXPECT_EQ(doc.at("schema").string, "texpim-stats-v1");
+    const json::Value *grp = findGroup(doc, "export_grp");
+    ASSERT_NE(grp, nullptr);
+
+    const json::Value *c = findNamed(grp->at("counters"), "hits");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->at("value").number, 41.0);
+    EXPECT_EQ(c->at("desc").string, "cache hits");
+
+    const json::Value *a = findNamed(grp->at("averages"), "lat");
+    ASSERT_NE(a, nullptr);
+    EXPECT_DOUBLE_EQ(a->at("mean").number, 15.0);
+    EXPECT_DOUBLE_EQ(a->at("count").number, 2.0);
+    EXPECT_DOUBLE_EQ(a->at("sum").number, 30.0);
+
+    const json::Value *hist = findNamed(grp->at("histograms"), "dist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->at("lo").number, 0.0);
+    EXPECT_DOUBLE_EQ(hist->at("hi").number, 10.0);
+    EXPECT_DOUBLE_EQ(hist->at("samples").number, 3.0);
+    EXPECT_DOUBLE_EQ(hist->at("min").number, 1.0);
+    EXPECT_DOUBLE_EQ(hist->at("max").number, 9.0);
+    const json::Value &buckets = hist->at("buckets");
+    ASSERT_EQ(buckets.array.size(), 5u);
+    EXPECT_DOUBLE_EQ(buckets.array[0].number, 1.0); // 1.0
+    EXPECT_DOUBLE_EQ(buckets.array[1].number, 1.0); // 3.0
+    EXPECT_DOUBLE_EQ(buckets.array[4].number, 1.0); // 9.0
+    // Percentiles are exported and match the histogram's own numbers.
+    EXPECT_DOUBLE_EQ(hist->at("p50").number, h.percentile(0.50));
+    EXPECT_DOUBLE_EQ(hist->at("p95").number, h.percentile(0.95));
+    EXPECT_DOUBLE_EQ(hist->at("p99").number, h.percentile(0.99));
+}
+
+TEST(StatExport, JsonOmitsDescWhenUnset)
+{
+    StatGroup g("export_nodesc");
+    g.counter("c") += 1;
+    json::Value doc = json::parse(statsToJson());
+    const json::Value *grp = findGroup(doc, "export_nodesc");
+    ASSERT_NE(grp, nullptr);
+    const json::Value *c = findNamed(grp->at("counters"), "c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->find("desc"), nullptr);
+}
+
+TEST(StatExport, CsvHasHeaderAndRowPerStat)
+{
+    StatGroup g("export_csv");
+    g.counter("n, quoted", "uses \"quotes\"") += 3;
+    g.average("avg").sample(4.0);
+    g.histogram("h", 0.0, 4.0, 2).sample(1.0);
+
+    std::string csv = statsToCsv();
+    std::istringstream is(csv);
+    std::string header;
+    std::getline(is, header);
+    EXPECT_EQ(header,
+              "group,stat,kind,value,count,mean,min,max,p50,p95,p99,"
+              "buckets,description");
+
+    bool saw_counter = false, saw_avg = false, saw_hist = false;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("export_csv,", 0) != 0)
+            continue;
+        if (line.find("\"n, quoted\",counter,3") != std::string::npos &&
+            line.find("\"uses \"\"quotes\"\"\"") != std::string::npos)
+            saw_counter = true;
+        if (line.find("avg,average,4,1,4") != std::string::npos)
+            saw_avg = true;
+        if (line.find("h,histogram,1,1,1,1,1") != std::string::npos &&
+            line.find(",1;0,") != std::string::npos)
+            saw_hist = true;
+    }
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_avg);
+    EXPECT_TRUE(saw_hist);
+}
+
+TEST(StatExport, WriteStatsFilePicksFormatByExtension)
+{
+    StatGroup g("export_file");
+    g.counter("c") += 9;
+
+    std::string jpath = ::testing::TempDir() + "/texpim_stats_test.json";
+    std::string cpath = ::testing::TempDir() + "/texpim_stats_test.csv";
+    writeStatsFile(jpath);
+    writeStatsFile(cpath);
+
+    std::ifstream jf(jpath);
+    std::string jtext((std::istreambuf_iterator<char>(jf)),
+                      std::istreambuf_iterator<char>());
+    json::Value doc = json::parse(jtext);
+    EXPECT_NE(findGroup(doc, "export_file"), nullptr);
+
+    std::ifstream cf(cpath);
+    std::string first;
+    std::getline(cf, first);
+    EXPECT_EQ(first.rfind("group,stat,", 0), 0u);
+    std::remove(jpath.c_str());
+    std::remove(cpath.c_str());
+}
+
+} // namespace
+} // namespace texpim

@@ -86,5 +86,107 @@ TEST(StatGroupDeath, FindMissingCounterPanics)
     EXPECT_DEATH({ (void)g.findCounter("nope"); }, "no counter");
 }
 
+TEST(StatHistogram, PercentilesOfUniformFill)
+{
+    StatHistogram h(0.0, 10.0, 10);
+    for (unsigned i = 0; i < 10; ++i)
+        h.sample(double(i) + 0.5); // one sample per bucket
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 9.5);
+    // p99's interpolated 9.9 exceeds the observed max and is clamped.
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 9.5);
+    // Everything clamps to the observed range.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 9.5);
+}
+
+TEST(StatHistogram, PercentileInterpolatesWithinBucket)
+{
+    StatHistogram h(0.0, 100.0, 10);
+    for (unsigned i = 0; i < 100; ++i)
+        h.sample(15.0); // all 100 samples in bucket [10, 20)
+    // target = p*100 samples, all in one bucket of width 10:
+    // v = 10 + p*10, clamped to [15, 15] -> always the sampled value.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 15.0);
+    // Two-bucket split: 50 low, 50 high.
+    StatHistogram h2(0.0, 2.0, 2);
+    for (unsigned i = 0; i < 50; ++i)
+        h2.sample(0.25);
+    for (unsigned i = 0; i < 50; ++i)
+        h2.sample(1.75);
+    // p50 -> target 50, end of bucket 0 -> v = 1.0.
+    EXPECT_DOUBLE_EQ(h2.percentile(0.50), 1.0);
+    // p95 -> target 95, 45 into bucket 1 of 50 -> v = 1 + 0.9 = 1.9,
+    // clamped to max 1.75.
+    EXPECT_DOUBLE_EQ(h2.percentile(0.95), 1.75);
+}
+
+TEST(StatHistogram, PercentileOfEmptyIsZero)
+{
+    StatHistogram h(0.0, 10.0, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(StatHistogram, ExposesBounds)
+{
+    StatHistogram h(2.0, 8.0, 3);
+    EXPECT_DOUBLE_EQ(h.lo(), 2.0);
+    EXPECT_DOUBLE_EQ(h.hi(), 8.0);
+    EXPECT_EQ(h.buckets(), 3u);
+}
+
+TEST(StatGroup, FindAverageAndHasAverage)
+{
+    StatGroup g("g");
+    g.average("lat").sample(3.0);
+    ASSERT_TRUE(g.hasAverage("lat"));
+    EXPECT_FALSE(g.hasAverage("nope"));
+    EXPECT_DOUBLE_EQ(g.findAverage("lat").mean(), 3.0);
+    EXPECT_EQ(g.findAverage("lat").count(), 1u);
+}
+
+TEST(StatGroupDeath, FindMissingAveragePanics)
+{
+    StatGroup g("g");
+    EXPECT_DEATH({ (void)g.findAverage("nope"); }, "no average");
+}
+
+TEST(StatGroupDeath, HistogramShapeMismatchPanics)
+{
+    StatGroup g("g");
+    g.histogram("h", 0.0, 10.0, 4);
+    EXPECT_DEATH({ (void)g.histogram("h", 0.0, 20.0, 4); },
+                 "different shape");
+    EXPECT_DEATH({ (void)g.histogram("h", 0.0, 10.0, 8); },
+                 "different shape");
+}
+
+TEST(StatGroup, HistogramRefindKeepsShape)
+{
+    StatGroup g("g");
+    StatHistogram &h1 = g.histogram("h", 0.0, 10.0, 4);
+    h1.sample(5.0);
+    StatHistogram &h2 = g.histogram("h", 0.0, 10.0, 4);
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.samples(), 1u);
+}
+
+TEST(StatGroup, DescriptionsRecordedOnFirstMention)
+{
+    StatGroup g("g");
+    g.counter("c", "counts things");
+    g.counter("c"); // hot-path re-lookup without a description
+    g.average("a", "averages things");
+    g.histogram("h", 0.0, 1.0, 2, "bins things");
+    EXPECT_EQ(g.description("c"), "counts things");
+    EXPECT_EQ(g.description("a"), "averages things");
+    EXPECT_EQ(g.description("h"), "bins things");
+    EXPECT_EQ(g.description("absent"), "");
+    // First non-empty mention wins; later text does not overwrite.
+    g.counter("c", "other text");
+    EXPECT_EQ(g.description("c"), "counts things");
+}
+
 } // namespace
 } // namespace texpim

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <map>
+
+#include "common/stat_export.hh"
+#include "common/trace_events.hh"
+
+namespace texpim {
+namespace {
+
+/** The tracer is a process-wide singleton; make each test leave it
+ *  idle so tests stay order-independent. */
+class TraceEventsTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        if (TraceEvents::active())
+            TraceEvents::instance().disable();
+    }
+};
+
+TEST_F(TraceEventsTest, InactiveByDefaultAndMacrosAreNoOps)
+{
+    EXPECT_FALSE(TraceEvents::active());
+    // With the tracer inactive these must not record anything.
+    TEXPIM_TRACE_SPAN("cat", "s", 0, 0, 10);
+    TEXPIM_TRACE_COMPLETE("cat", "x", 0, 0, 5);
+    TraceEvents::instance().enable("", 100);
+    EXPECT_EQ(TraceEvents::instance().recorded(), 0u);
+}
+
+TEST_F(TraceEventsTest, MacrosForwardOnlyWhenCompiledInAndActive)
+{
+    TraceEvents &t = TraceEvents::instance();
+    t.enable("", 100);
+    TEXPIM_TRACE_INSTANT("cat", "hit", 0, 1);
+#if TEXPIM_TRACING
+    EXPECT_EQ(t.recorded(), 1u);
+#else
+    EXPECT_EQ(t.recorded(), 0u); // compiled out entirely
+#endif
+    t.disable();
+}
+
+TEST_F(TraceEventsTest, RecordsEveryEventKind)
+{
+    TraceEvents &t = TraceEvents::instance();
+    t.enable("", 100);
+    EXPECT_TRUE(TraceEvents::active());
+
+    t.span("raster", "tile", 3, 100, 250);
+    t.complete("texture", "req", 7, 120, 40);
+    t.instant("dram", "miss", 2, 130);
+    t.counter("frame", "frags", 140, 9.5);
+    EXPECT_EQ(t.recorded(), 5u); // span counts as B + E
+
+    json::Value doc = json::parse(t.toJson());
+    const json::Value &evs = doc.at("traceEvents");
+    ASSERT_EQ(evs.array.size(), 5u);
+
+    const json::Value &b = evs.array[0];
+    EXPECT_EQ(b.at("ph").string, "B");
+    EXPECT_EQ(b.at("cat").string, "raster");
+    EXPECT_EQ(b.at("name").string, "tile");
+    EXPECT_DOUBLE_EQ(b.at("tid").number, 3.0);
+    EXPECT_DOUBLE_EQ(b.at("ts").number, 100.0);
+
+    const json::Value &e = evs.array[1];
+    EXPECT_EQ(e.at("ph").string, "E");
+    EXPECT_DOUBLE_EQ(e.at("ts").number, 250.0);
+
+    const json::Value &x = evs.array[2];
+    EXPECT_EQ(x.at("ph").string, "X");
+    EXPECT_DOUBLE_EQ(x.at("dur").number, 40.0);
+
+    const json::Value &i = evs.array[3];
+    EXPECT_EQ(i.at("ph").string, "i");
+    EXPECT_EQ(i.at("s").string, "t");
+
+    const json::Value &c = evs.array[4];
+    EXPECT_EQ(c.at("ph").string, "C");
+    EXPECT_DOUBLE_EQ(c.at("args").at("value").number, 9.5);
+
+    EXPECT_EQ(doc.at("otherData").at("clock").string, "gpu-core-cycles");
+}
+
+TEST_F(TraceEventsTest, CapDropsWholeSpansKeepingBalance)
+{
+    TraceEvents &t = TraceEvents::instance();
+    t.enable("", 3); // room for one span (2 events) + one single
+    t.span("c", "s1", 0, 0, 1);
+    t.span("c", "s2", 0, 2, 3); // needs 2, only 1 slot left: dropped
+    t.instant("c", "i", 0, 4);  // single event still fits
+    t.instant("c", "i2", 0, 5); // now full: dropped
+    EXPECT_EQ(t.recorded(), 3u);
+    EXPECT_EQ(t.dropped(), 3u); // 2 (span) + 1 (instant)
+
+    unsigned begins = 0, ends = 0;
+    json::Value doc = json::parse(t.toJson());
+    for (const json::Value &e : doc.at("traceEvents").array) {
+        if (e.at("ph").string == "B")
+            ++begins;
+        if (e.at("ph").string == "E")
+            ++ends;
+    }
+    EXPECT_EQ(begins, 1u);
+    EXPECT_EQ(begins, ends);
+    EXPECT_DOUBLE_EQ(doc.at("otherData").at("dropped_events").number, 3.0);
+}
+
+TEST_F(TraceEventsTest, DisableWritesTheFileAndStopsRecording)
+{
+    std::string path = ::testing::TempDir() + "/texpim_trace_test.json";
+    TraceEvents &t = TraceEvents::instance();
+    t.enable(path, 100);
+    t.complete("cat", "work", 1, 10, 5);
+    t.disable();
+    EXPECT_FALSE(TraceEvents::active());
+
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    json::Value doc = json::parse(text);
+    ASSERT_EQ(doc.at("traceEvents").array.size(), 1u);
+    EXPECT_EQ(doc.at("traceEvents").array[0].at("name").string, "work");
+    std::remove(path.c_str());
+
+    // Macros are dead again after disable().
+    TEXPIM_TRACE_INSTANT("cat", "late", 0, 99);
+    t.enable("", 100);
+    EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST_F(TraceEventsTest, ReenableResetsBufferAndDropCount)
+{
+    TraceEvents &t = TraceEvents::instance();
+    t.enable("", 1);
+    t.instant("c", "a", 0, 0);
+    t.instant("c", "b", 0, 1); // dropped
+    EXPECT_EQ(t.dropped(), 1u);
+    t.disable();
+
+    t.enable("", 10);
+    EXPECT_EQ(t.recorded(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+} // namespace
+} // namespace texpim
