@@ -42,6 +42,16 @@ main(int argc, char **argv)
         auto speedup = ratio(base_metric, metricOf(r, frame));
         table.addColumn(name, speedup);
         series.push_back({name, speedup});
+        // Fault/robustness accounting rides along for faulted sweeps
+        // (all-zero series under the default fault-free config).
+        series.push_back({name + " hmc.link_retries",
+                          metricOf(r, [](const SimResult &sr) {
+                              return double(sr.linkRetries);
+                          })});
+        series.push_back({name + " pim.fallbacks",
+                          metricOf(r, [](const SimResult &sr) {
+                              return double(sr.pimFallbacks);
+                          })});
     }
     table.print(std::cout);
     emitMetricsJson("fig11_rendering_speedup", workloadLabels(opt), series);

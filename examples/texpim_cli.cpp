@@ -12,9 +12,12 @@
  *   texpim stats   [key=value ...]
  *
  * Recognized keys: every SimConfig key (design=..., gpu.*, hmc.*,
- * gddr5.*, atfim.*, energy.*, pim.*) plus:
+ * gddr5.*, atfim.*, energy.*, pim.*, fault_*) plus:
  *   width=, height=, frame=, seed=, max_aniso=, out=<frame.ppm>,
  *   compress=true (BC1 textures)
+ *
+ * Unknown keys draw a warning with a "did you mean" suggestion;
+ * strict_config=1 turns the warning into a fatal error.
  *
  * Observability keys (see README "Observability"):
  *   stats_out=<file.json|.csv>  structured export of every registered
@@ -70,6 +73,22 @@ collectConfig(int argc, char **argv, int first)
     for (int i = first; i < argc; ++i)
         cfg.parseItem(argv[i]);
     return cfg;
+}
+
+/**
+ * Unknown-key validation. Every key SimConfig::fromConfig (or scene
+ * loading) queried is known automatically; this adds the CLI-only
+ * keys. Unknown keys warn with a "did you mean" suggestion, or die
+ * when strict_config=1.
+ */
+void
+validateConfig(const Config &cfg)
+{
+    static const std::vector<std::string> cli_keys = {
+        "width",     "height",    "frame",    "seed",
+        "max_aniso", "out",       "compress", "stats_out",
+        "trace_out", "trace_cap", "strict_config"};
+    cfg.checkKnownKeys(cli_keys, cfg.getBool("strict_config", false));
 }
 
 Scene
@@ -174,6 +193,7 @@ cmdRender(int argc, char **argv)
     Config cfg = collectConfig(argc, argv, 3);
     Scene scene = loadScene(argv[2], cfg);
     SimConfig sc = SimConfig::fromConfig(cfg);
+    validateConfig(cfg);
     RenderingSimulator sim(sc);
     beginTracing(cfg);
     SimResult r = sim.renderScene(scene);
@@ -210,6 +230,8 @@ cmdCompare(int argc, char **argv)
     Config cfg = collectConfig(argc, argv, 3);
     Scene scene = loadScene(argv[2], cfg);
     std::string stats_out = cfg.getString("stats_out", "");
+    SimConfig::fromConfig(cfg); // query every sim key, then validate
+    validateConfig(cfg);
     beginTracing(cfg);
 
     SimResult base;
@@ -253,6 +275,7 @@ cmdFrames(int argc, char **argv)
     Workload wl{game, unsigned(cfg.getInt("width", 640)),
                 unsigned(cfg.getInt("height", 480))};
     SimConfig sc = SimConfig::fromConfig(cfg);
+    validateConfig(cfg);
     RenderingSimulator sim(sc);
     beginTracing(cfg);
     auto frames = sim.renderSequence(wl, count,
@@ -277,6 +300,7 @@ cmdConfig(int argc, char **argv)
 {
     Config cfg = collectConfig(argc, argv, 2);
     SimConfig sc = SimConfig::fromConfig(cfg);
+    validateConfig(cfg);
     std::printf("design: %s\n", designName(sc.design));
     std::printf("gpu: %u clusters x %u shaders, tile %u, tex unit %u+%u "
                 "ALUs, L1 %llu KB, L2 %llu KB, window %u\n",
@@ -311,6 +335,7 @@ cmdStats(int argc, char **argv)
         sc.design = d;
         sims.push_back(std::make_unique<RenderingSimulator>(sc));
     }
+    validateConfig(cfg);
 
     // Dedup by (group, stat): the four designs share components.
     std::map<std::pair<std::string, std::string>,

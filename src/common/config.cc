@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 
@@ -53,6 +54,8 @@ Config::setBool(const std::string &key, bool value)
 void
 Config::parseItem(const std::string &item)
 {
+    // Split on the *first* '=' only: values are allowed to contain '='
+    // (e.g. out=frames/a=b.ppm).
     size_t eq = item.find('=');
     if (eq == std::string::npos)
         TEXPIM_FATAL("malformed config item '", item, "' (expected key=value)");
@@ -82,12 +85,14 @@ Config::parseText(const std::string &text)
 bool
 Config::has(const std::string &key) const
 {
+    queried_.insert(key);
     return values_.count(key) != 0;
 }
 
 std::optional<std::string>
 Config::rawGet(const std::string &key) const
 {
+    queried_.insert(key);
     auto it = values_.find(key);
     if (it == values_.end())
         return std::nullopt;
@@ -128,14 +133,16 @@ Config::getDouble(const std::string &key) const
 bool
 Config::getBool(const std::string &key) const
 {
-    std::string v = getString(key);
+    std::string raw = getString(key);
+    std::string v = raw;
     std::transform(v.begin(), v.end(), v.begin(),
                    [](unsigned char c) { return char(std::tolower(c)); });
     if (v == "true" || v == "1" || v == "yes" || v == "on")
         return true;
     if (v == "false" || v == "0" || v == "no" || v == "off")
         return false;
-    TEXPIM_FATAL("config key '", key, "' = '", v, "' is not a boolean");
+    // Report the raw value, not the lowercased working copy.
+    TEXPIM_FATAL("config key '", key, "' = '", raw, "' is not a boolean");
 }
 
 std::string
@@ -185,6 +192,82 @@ Config::mergeFrom(const Config &other)
 {
     for (const auto &kv : other.values_)
         values_[kv.first] = kv.second;
+}
+
+namespace {
+
+/** Classic Levenshtein distance (both strings are short config keys). */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
+
+std::vector<std::string>
+Config::unknownKeys(const std::vector<std::string> &known) const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : values_) {
+        if (queried_.count(kv.first))
+            continue;
+        if (std::find(known.begin(), known.end(), kv.first) != known.end())
+            continue;
+        out.push_back(kv.first);
+    }
+    return out;
+}
+
+std::string
+Config::suggestKey(const std::string &key,
+                   const std::vector<std::string> &known) const
+{
+    std::string best;
+    size_t best_d = SIZE_MAX;
+    auto consider = [&](const std::string &cand) {
+        if (cand == key)
+            return;
+        size_t d = editDistance(key, cand);
+        if (d < best_d || (d == best_d && cand < best)) {
+            best_d = d;
+            best = cand;
+        }
+    };
+    for (const std::string &k : queried_)
+        consider(k);
+    for (const std::string &k : known)
+        consider(k);
+    // Only suggest genuinely close candidates: a third of the key's
+    // length (at least 2 edits, so one-letter keys still get help).
+    size_t limit = std::max<size_t>(2, key.size() / 3);
+    return best_d <= limit ? best : "";
+}
+
+void
+Config::checkKnownKeys(const std::vector<std::string> &known,
+                       bool strict) const
+{
+    for (const std::string &key : unknownKeys(known)) {
+        std::string hint = suggestKey(key, known);
+        std::string msg = "unknown config key '" + key + "'";
+        if (!hint.empty())
+            msg += " (did you mean '" + hint + "'?)";
+        if (strict)
+            TEXPIM_FATAL(msg);
+        TEXPIM_WARN(msg);
+    }
 }
 
 } // namespace texpim

@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 #include <ostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -62,10 +63,34 @@ class Config
     /** Merge other into this; other's values win on conflict. */
     void mergeFrom(const Config &other);
 
+    /**
+     * Strict key validation. Every lookup (has() or any getter)
+     * registers its key as known, so after the consumers of a Config
+     * have read their parameters, any stored key that was never looked
+     * up and is not in `known` is a typo or an obsolete option.
+     * Unknown keys warn() with a "did you mean" edit-distance
+     * suggestion; with `strict` they are fatal() instead (the
+     * strict_config=1 CLI behavior).
+     */
+    void checkKnownKeys(const std::vector<std::string> &known = {},
+                        bool strict = false) const;
+
+    /** Stored keys never looked up and not in `known`, sorted. */
+    std::vector<std::string> unknownKeys(
+        const std::vector<std::string> &known = {}) const;
+
+    /** Closest registered/`known` key to `key` by edit distance, or ""
+     *  when nothing is close enough to suggest. */
+    std::string suggestKey(const std::string &key,
+                           const std::vector<std::string> &known = {}) const;
+
   private:
     std::optional<std::string> rawGet(const std::string &key) const;
 
     std::map<std::string, std::string> values_;
+    /** Every key ever passed to has()/rawGet() — the registered-key
+     *  set checkKnownKeys() validates against. */
+    mutable std::set<std::string> queried_;
 };
 
 } // namespace texpim

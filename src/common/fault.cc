@@ -1,0 +1,135 @@
+#include "common/fault.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+FaultParams
+FaultParams::fromConfig(const Config &cfg)
+{
+    FaultParams p;
+    p.seed = u64(cfg.getInt("fault_seed", i64(p.seed)));
+    p.linkBer = cfg.getDouble("fault_link_ber", p.linkBer);
+    p.vaultBer = cfg.getDouble("fault_vault_ber", p.vaultBer);
+    p.burstLen = unsigned(cfg.getInt("fault_burst_len", i64(p.burstLen)));
+    if (p.linkBer < 0.0 || p.linkBer > 1.0)
+        TEXPIM_FATAL("fault_link_ber = ", p.linkBer, " not in [0, 1]");
+    if (p.vaultBer < 0.0 || p.vaultBer > 1.0)
+        TEXPIM_FATAL("fault_vault_ber = ", p.vaultBer, " not in [0, 1]");
+    if (p.burstLen == 0)
+        TEXPIM_FATAL("fault_burst_len must be >= 1");
+    return p;
+}
+
+u64
+faultSiteSeed(u64 seed, const std::string &site)
+{
+    u64 h = 0xcbf29ce484222325ull; // FNV-1a
+    for (char c : site) {
+        h ^= u64(u8(c));
+        h *= 0x100000001b3ull;
+    }
+    return seed ^ h;
+}
+
+FaultInjector::FaultInjector(std::string site, double probability,
+                             unsigned burstLen, u64 seed)
+    : site_(std::move(site)), probability_(probability),
+      burst_len_(std::max(1u, burstLen)),
+      rng_(faultSiteSeed(seed, site_))
+{
+    TEXPIM_ASSERT(probability_ >= 0.0 && probability_ <= 1.0,
+                  "fault probability ", probability_, " not in [0, 1]");
+    if (enabled()) {
+        FaultRegistry::instance().add(this);
+        registered_ = true;
+    }
+}
+
+FaultInjector::~FaultInjector()
+{
+    if (registered_)
+        FaultRegistry::instance().remove(this);
+}
+
+FaultInjector::FaultInjector(FaultInjector &&other) noexcept
+    : site_(std::move(other.site_)), probability_(other.probability_),
+      burst_len_(other.burst_len_), burst_left_(other.burst_left_),
+      rng_(other.rng_), trials_(other.trials_), faults_(other.faults_),
+      registered_(other.registered_)
+{
+    if (registered_) {
+        FaultRegistry::instance().remove(&other);
+        FaultRegistry::instance().add(this);
+        other.registered_ = false;
+    }
+    other.probability_ = 0.0;
+}
+
+FaultInjector &
+FaultInjector::operator=(FaultInjector &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    if (registered_)
+        FaultRegistry::instance().remove(this);
+    site_ = std::move(other.site_);
+    probability_ = other.probability_;
+    burst_len_ = other.burst_len_;
+    burst_left_ = other.burst_left_;
+    rng_ = other.rng_;
+    trials_ = other.trials_;
+    faults_ = other.faults_;
+    registered_ = other.registered_;
+    if (registered_) {
+        FaultRegistry::instance().remove(&other);
+        FaultRegistry::instance().add(this);
+        other.registered_ = false;
+    }
+    other.probability_ = 0.0;
+    return *this;
+}
+
+FaultRegistry &
+FaultRegistry::instance()
+{
+    static FaultRegistry r;
+    return r;
+}
+
+void
+FaultRegistry::add(FaultInjector *f)
+{
+    entries_.push_back(f);
+}
+
+void
+FaultRegistry::remove(FaultInjector *f)
+{
+    entries_.erase(std::remove(entries_.begin(), entries_.end(), f),
+                   entries_.end());
+}
+
+std::vector<const FaultInjector *>
+FaultRegistry::sites() const
+{
+    std::vector<const FaultInjector *> out(entries_.begin(), entries_.end());
+    std::sort(out.begin(), out.end(),
+              [](const FaultInjector *a, const FaultInjector *b) {
+                  return a->site() < b->site();
+              });
+    return out;
+}
+
+u64
+FaultRegistry::totalFaults() const
+{
+    u64 n = 0;
+    for (const FaultInjector *f : entries_)
+        n += f->faults();
+    return n;
+}
+
+} // namespace texpim

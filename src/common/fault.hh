@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection.
+ *
+ * A FaultInjector models one physical fault site (a link direction, a
+ * vault's ECC path, ...) as a Bernoulli process with an optional burst
+ * extension: once a fault fires, the next `burstLen - 1` trials at the
+ * same site also fault, modeling correlated error events (a noisy lane
+ * stays noisy for a few packets). Each site draws from its own
+ * xorshift64* stream seeded from (global fault seed, site name), so
+ *
+ *  - the fault pattern at a site depends only on the number of trials
+ *    performed there, never on what other sites do, and
+ *  - two runs with the same seed and workload see bit-identical fault
+ *    patterns, timings and statistics.
+ *
+ * Zero-overhead-when-disabled contract: a disabled injector's fire()
+ * is a single flag check that performs no RNG draw and touches no
+ * counters, so a faults-off simulation is bit-identical to a build
+ * without the fault path.
+ *
+ * Every named injector registers itself with the global FaultRegistry,
+ * making all live fault sites enumerable (the `texpim` CLI reports
+ * them after a faulty run).
+ */
+
+#ifndef TEXPIM_COMMON_FAULT_HH
+#define TEXPIM_COMMON_FAULT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace texpim {
+
+/** The fault_*= configuration surface (see README "Fault injection"). */
+struct FaultParams
+{
+    u64 seed = 0x5eed;      //!< fault_seed=
+    double linkBer = 0.0;   //!< fault_link_ber=, per-packet CRC error prob.
+    double vaultBer = 0.0;  //!< fault_vault_ber=, per-access transient prob.
+    unsigned burstLen = 1;  //!< fault_burst_len=, correlated-error run length
+
+    static FaultParams fromConfig(const Config &cfg);
+
+    bool enabled() const { return linkBer > 0.0 || vaultBer > 0.0; }
+};
+
+/** Mix the global fault seed with a site name so each site gets an
+ *  independent deterministic stream (FNV-1a over the name). */
+u64 faultSiteSeed(u64 seed, const std::string &site);
+
+class FaultInjector
+{
+  public:
+    /** Disabled, anonymous, unregistered (the default for components
+     *  built without fault configuration). */
+    FaultInjector() = default;
+
+    /** A named site firing with `probability` per trial; faults extend
+     *  into bursts of `burstLen` consecutive trials. Registers with
+     *  the FaultRegistry when `probability > 0`. */
+    FaultInjector(std::string site, double probability, unsigned burstLen,
+                  u64 seed);
+
+    ~FaultInjector();
+
+    // Movable (sites live inside resizable component vectors); the
+    // registry entry follows the object across moves.
+    FaultInjector(FaultInjector &&other) noexcept;
+    FaultInjector &operator=(FaultInjector &&other) noexcept;
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /**
+     * One trial: does a fault occur here, now?
+     * Disabled sites return false after a single flag check.
+     */
+    bool
+    fire()
+    {
+        if (probability_ <= 0.0)
+            return false;
+        ++trials_;
+        if (burst_left_ > 0) {
+            --burst_left_;
+            ++faults_;
+            return true;
+        }
+        if (!rng_.chance(probability_))
+            return false;
+        ++faults_;
+        burst_left_ = burst_len_ - 1;
+        return true;
+    }
+
+    bool enabled() const { return probability_ > 0.0; }
+    const std::string &site() const { return site_; }
+    double probability() const { return probability_; }
+    u64 trials() const { return trials_; }
+    u64 faults() const { return faults_; }
+
+    void
+    resetStats()
+    {
+        trials_ = 0;
+        faults_ = 0;
+    }
+
+  private:
+    std::string site_;
+    double probability_ = 0.0;
+    unsigned burst_len_ = 1;
+    unsigned burst_left_ = 0;
+    Rng rng_{};
+    u64 trials_ = 0;
+    u64 faults_ = 0;
+    bool registered_ = false;
+};
+
+/**
+ * Global registry of every live enabled fault site, kept current by
+ * FaultInjector's constructor/destructor/moves (mirrors StatRegistry).
+ */
+class FaultRegistry
+{
+  public:
+    static FaultRegistry &instance();
+
+    FaultRegistry(const FaultRegistry &) = delete;
+    FaultRegistry &operator=(const FaultRegistry &) = delete;
+
+    size_t size() const { return entries_.size(); }
+
+    /** Every live enabled site, sorted by site name. */
+    std::vector<const FaultInjector *> sites() const;
+
+    /** Sum of faults() over all live sites. */
+    u64 totalFaults() const;
+
+  private:
+    friend class FaultInjector;
+
+    FaultRegistry() = default;
+
+    void add(FaultInjector *f);
+    void remove(FaultInjector *f);
+
+    std::vector<FaultInjector *> entries_;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_COMMON_FAULT_HH

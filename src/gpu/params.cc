@@ -37,6 +37,8 @@ GpuParams::fromConfig(const Config &cfg)
         "gpu.fragment_pipeline_cycles", p.fragmentPipelineCycles));
     p.triangleSetupCycles =
         unsigned(cfg.getInt("gpu.setup_cycles", p.triangleSetupCycles));
+    p.deterministicSchedule =
+        cfg.getBool("gpu.deterministic_schedule", p.deterministicSchedule);
     return p;
 }
 

@@ -58,6 +58,20 @@ struct GpuParams
      */
     unsigned fragmentPipelineCycles = 6;
 
+    /**
+     * Pin the functional processing order: clusters take tiles in
+     * fixed round-robin instead of lowest-issue-horizon-first. The
+     * horizon schedule feeds completion times back into cluster
+     * selection, so *any* timing perturbation (a faulted link, a
+     * different link latency) can reorder the request stream — which
+     * changes A-TFIM's shared angle-cache reuse and hence its image.
+     * With the pinned schedule the request stream, and therefore the
+     * image, is invariant under timing perturbations, at a small cost
+     * in timing fidelity (shared resources see rougher time order).
+     * Use it on *both* sides of an image A/B across fault knobs.
+     */
+    bool deterministicSchedule = false;
+
     static GpuParams fromConfig(const Config &cfg);
 };
 

@@ -205,22 +205,39 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
             cluster_tiles[ti % params_.clusters].push_back(ti);
     }
     std::vector<size_t> next_tile(params_.clusters, 0);
+    unsigned rr_next = 0;
 
     while (true) {
         unsigned cluster = params_.clusters;
-        Cycle best = kNeverCycle;
-        for (unsigned c = 0; c < params_.clusters; ++c) {
-            if (next_tile[c] >= cluster_tiles[c].size())
-                continue;
-            // The next texture request of cluster c will issue no
-            // earlier than its compute clock and no earlier than its
-            // in-flight window frees a slot — schedule on that horizon
-            // so memory sees accesses in near-global-time order.
-            Cycle horizon =
-                std::max(cluster_time[c], windows[c].oldest());
-            if (horizon < best) {
-                best = horizon;
-                cluster = c;
+        if (params_.deterministicSchedule) {
+            // Pinned functional order: fixed round-robin over clusters
+            // with tiles remaining, independent of any completion
+            // time. Keeps the request stream (and A-TFIM's image)
+            // invariant under timing perturbations; see GpuParams.
+            for (unsigned i = 0; i < params_.clusters; ++i) {
+                unsigned c = (rr_next + i) % params_.clusters;
+                if (next_tile[c] < cluster_tiles[c].size()) {
+                    cluster = c;
+                    rr_next = (c + 1) % params_.clusters;
+                    break;
+                }
+            }
+        } else {
+            Cycle best = kNeverCycle;
+            for (unsigned c = 0; c < params_.clusters; ++c) {
+                if (next_tile[c] >= cluster_tiles[c].size())
+                    continue;
+                // The next texture request of cluster c will issue no
+                // earlier than its compute clock and no earlier than
+                // its in-flight window frees a slot — schedule on that
+                // horizon so memory sees accesses in near-global-time
+                // order.
+                Cycle horizon =
+                    std::max(cluster_time[c], windows[c].oldest());
+                if (horizon < best) {
+                    best = horizon;
+                    cluster = c;
+                }
             }
         }
         if (cluster == params_.clusters)

@@ -75,6 +75,10 @@ class TexturePath
 
     u64 requests() const { return requests_; }
 
+    /** Requests degraded from a PIM offload to host-side filtering by
+     *  the robustness policy; always 0 for paths without an offload. */
+    virtual u64 fallbacks() const { return 0; }
+
     /** Sum over requests of (complete - issue): the paper's texture
      *  filtering latency (from texel-fetch request to final texture
      *  output, §VII-A). Speedups compare these sums. */

@@ -45,6 +45,12 @@ HmcParams::fromConfig(const Config &cfg)
     p.responseHeaderBytes = u64(
         cfg.getInt("hmc.response_header_bytes", i64(p.responseHeaderBytes)));
     p.cubes = unsigned(cfg.getInt("hmc.cubes", p.cubes));
+    p.retryBufferPackets = unsigned(
+        cfg.getInt("hmc.retry_buffer_packets", i64(p.retryBufferPackets)));
+    p.retryLatency =
+        Cycle(cfg.getInt("hmc.retry_latency", i64(p.retryLatency)));
+    p.maxRetries = unsigned(cfg.getInt("hmc.max_retries", i64(p.maxRetries)));
+    p.fault = FaultParams::fromConfig(cfg);
     return p;
 }
 
@@ -62,8 +68,11 @@ HmcMemory::HmcMemory(const HmcParams &params)
     internal_bw_ = gbpsToBytesPerCycle(params_.internalBandwidthGBs);
     vault_bw_ = internal_bw_ / double(params_.vaults);
 
+    TEXPIM_ASSERT(params_.retryBufferPackets > 0,
+                  "need at least one retry-buffer slot");
     cubes_.resize(params_.cubes);
-    for (auto &cube : cubes_) {
+    for (unsigned c = 0; c < params_.cubes; ++c) {
+        Cube &cube = cubes_[c];
         cube.vaults.reserve(params_.vaults);
         for (unsigned v = 0; v < params_.vaults; ++v) {
             Vault vault;
@@ -71,6 +80,18 @@ HmcMemory::HmcMemory(const HmcParams &params)
                                DramBank(params_.timing));
             cube.vaults.push_back(std::move(vault));
         }
+        // Fault sites, one per link direction and one for the vault
+        // path; each draws an independent stream off the global seed.
+        const FaultParams &f = params_.fault;
+        std::string prefix = "hmc" + std::to_string(c);
+        cube.tx.inj = FaultInjector(prefix + ".link_tx", f.linkBer,
+                                    f.burstLen, f.seed);
+        cube.rx.inj = FaultInjector(prefix + ".link_rx", f.linkBer,
+                                    f.burstLen, f.seed);
+        cube.vaultInj = FaultInjector(prefix + ".vault", f.vaultBer,
+                                      f.burstLen, f.seed);
+        cube.tx.retrySlots.assign(params_.retryBufferPackets, 0.0);
+        cube.rx.retrySlots.assign(params_.retryBufferPackets, 0.0);
     }
 
     stats_.counter("reads", "host read transactions");
@@ -90,6 +111,18 @@ HmcMemory::HmcMemory(const HmcParams &params)
                    "logic-layer access latency, cycles");
     stats_.histogram("latency_hist", 0.0, 2048.0, 64,
                      "host transaction latency distribution");
+    stats_.counter("crc_errors",
+                   "link packet transmissions that took a CRC error");
+    stats_.counter("link_retries",
+                   "packet retransmissions through the link-retry buffer");
+    stats_.counter("retry_buffer_stalls",
+                   "retransmissions stalled on a full retry buffer");
+    stats_.counter("retry_aborts",
+                   "packets forced through after max_retries replays");
+    stats_.counter("vault_retries",
+                   "vault accesses re-issued after a transient error");
+    stats_.counter("package_deadline_misses",
+                   "PIM packages that arrived after their deadline");
 }
 
 unsigned
@@ -100,6 +133,66 @@ HmcMemory::cubeOf(Addr addr) const
     u64 granule = addr >> 20; // 1 MiB cube interleave
     u64 fold = granule ^ (granule >> 5);
     return unsigned(fold % params_.cubes);
+}
+
+double
+HmcMemory::sendPacket(Cube &cube, Link &link, double now, u64 bytes,
+                      double bytes_per_cyc)
+{
+    double done = reserveBandwidth(link.res, now, bytes, bytes_per_cyc);
+    ++cube.linkPackets;
+    if (!link.inj.enabled())
+        return done; // faults off: the whole fault path is this check
+    unsigned attempt = 0;
+    while (link.inj.fire()) {
+        ++attempt;
+        ++stats_.counter("crc_errors");
+        TEXPIM_TRACE_INSTANT("fault", "crc_error", 310, Cycle(done));
+        if (attempt > params_.maxRetries) {
+            // The link layer gives up replaying and forces the packet
+            // through; the data path is functional fiction, so a
+            // poisoned delivery only matters for the statistics.
+            ++stats_.counter("retry_aborts");
+            break;
+        }
+        ++cube.linkRetries;
+        ++stats_.counter("link_retries");
+        // Replay from the retry buffer: error detection + turnaround,
+        // doubling (exponential backoff) on repeated failures.
+        double backoff = double(params_.retryLatency) *
+                         double(1u << std::min(attempt - 1, 6u));
+        double ready = done + backoff;
+        // The replayed packet needs a retry-buffer slot; when all
+        // slots hold unacknowledged packets, token flow control stalls
+        // the link until the oldest retires.
+        double slot_free = link.retrySlots[link.head];
+        if (slot_free > ready) {
+            ++stats_.counter("retry_buffer_stalls");
+            ready = slot_free;
+        }
+        done = reserveBandwidth(link.res, ready, bytes, bytes_per_cyc);
+        link.retrySlots[link.head] = done;
+        link.head = (link.head + 1) % link.retrySlots.size();
+    }
+    return done;
+}
+
+double
+HmcMemory::observedLinkRetryRate(Addr addr, u64 min_packets) const
+{
+    const Cube &cube = cubes_[cubeOf(addr)];
+    if (cube.linkPackets == 0 || cube.linkPackets < min_packets)
+        return 0.0;
+    return double(cube.linkRetries) / double(cube.linkPackets);
+}
+
+void
+HmcMemory::notePackageDeadline(Cycle deadline, Cycle arrive)
+{
+    if (deadline == 0 || arrive <= deadline)
+        return;
+    ++stats_.counter("package_deadline_misses");
+    TEXPIM_TRACE_INSTANT("fault", "package_timeout", 311, deadline);
 }
 
 Cycle
@@ -129,6 +222,20 @@ HmcMemory::vaultAccess(Addr addr, u64 bytes, Cycle start,
         params_.tsvLatency;
     Cycle data_ready = vault.banks[bank_idx].access(row, bank_start, outcome);
 
+    if (cube.vaultInj.fire()) {
+        // Transient vault error (ECC detection on the returned burst):
+        // the vault controller re-issues the access. The replay goes
+        // back through the command path and the same bank; the
+        // original row-buffer outcome stays the one reported (the
+        // replay hits the row the first attempt opened).
+        ++stats_.counter("vault_retries");
+        TEXPIM_TRACE_INSTANT("fault", "vault_error", 200 + vidx,
+                             data_ready);
+        RowBufferOutcome replay;
+        data_ready = vault.banks[bank_idx].access(
+            row, data_ready + params_.vaultCommandLatency, replay);
+    }
+
     // TSV bundle (vault data bus) serialization, then the aggregate
     // internal-bandwidth ceiling of the cube.
     double tsv_done =
@@ -147,8 +254,10 @@ void
 HmcMemory::beginFrame()
 {
     for (auto &cube : cubes_) {
-        cube.txLink.reset();
-        cube.rxLink.reset();
+        cube.tx.res.reset();
+        cube.rx.res.reset();
+        std::fill(cube.tx.retrySlots.begin(), cube.tx.retrySlots.end(), 0.0);
+        std::fill(cube.rx.retrySlots.begin(), cube.rx.retrySlots.end(), 0.0);
         cube.internalAgg.reset();
         for (auto &v : cube.vaults) {
             v.bus.reset();
@@ -170,7 +279,7 @@ HmcMemory::access(const MemRequest &req)
     // header + payload for writes.
     u64 tx_bytes = params_.requestPacketBytes + (is_read ? 0 : req.bytes);
     double tx_done =
-        reserveBandwidth(cube.txLink, double(req.issue), tx_bytes, tx_bw_);
+        sendPacket(cube, cube.tx, double(req.issue), tx_bytes, tx_bw_);
     Cycle at_cube = Cycle(std::ceil(tx_done)) + params_.linkLatency;
 
     RowBufferOutcome outcome;
@@ -180,7 +289,7 @@ HmcMemory::access(const MemRequest &req)
     // header-only acknowledge for writes.
     u64 rx_bytes = params_.responseHeaderBytes + (is_read ? req.bytes : 0);
     double rx_done =
-        reserveBandwidth(cube.rxLink, double(vault_done), rx_bytes, rx_bw_);
+        sendPacket(cube, cube.rx, double(vault_done), rx_bytes, rx_bw_);
     Cycle done = Cycle(std::ceil(rx_done)) + params_.linkLatency;
 
     // Traffic meters count payload bytes (the paper's Fig. 12 counts
@@ -225,28 +334,30 @@ HmcMemory::internalAccess(const MemRequest &req)
 
 Cycle
 HmcMemory::hostToDevice(u64 bytes, TrafficClass cls, Cycle now,
-                        Addr route_addr)
+                        Addr route_addr, Cycle deadline)
 {
     TEXPIM_ASSERT(bytes > 0, "zero-byte package");
     Cube &cube = cubes_[cubeOf(route_addr)];
-    double done = reserveBandwidth(cube.txLink, double(now), bytes, tx_bw_);
+    double done = sendPacket(cube, cube.tx, double(now), bytes, tx_bw_);
     countOffChip(cls, bytes);
     ++stats_.counter("packages_to_device");
     Cycle arrive = Cycle(std::ceil(done)) + params_.linkLatency;
+    notePackageDeadline(deadline, arrive);
     TEXPIM_TRACE_COMPLETE("pim", "pkg_to_device", 300, now, arrive - now);
     return arrive;
 }
 
 Cycle
 HmcMemory::deviceToHost(u64 bytes, TrafficClass cls, Cycle now,
-                        Addr route_addr)
+                        Addr route_addr, Cycle deadline)
 {
     TEXPIM_ASSERT(bytes > 0, "zero-byte package");
     Cube &cube = cubes_[cubeOf(route_addr)];
-    double done = reserveBandwidth(cube.rxLink, double(now), bytes, rx_bw_);
+    double done = sendPacket(cube, cube.rx, double(now), bytes, rx_bw_);
     countOffChip(cls, bytes);
     ++stats_.counter("packages_to_host");
     Cycle arrive = Cycle(std::ceil(done)) + params_.linkLatency;
+    notePackageDeadline(deadline, arrive);
     TEXPIM_TRACE_COMPLETE("pim", "pkg_to_host", 301, now, arrive - now);
     return arrive;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/fault.hh"
 #include "mem/dram_bank.hh"
 #include "mem/gap_resource.hh"
 #include "mem/memory_system.hh"
@@ -49,6 +50,24 @@ struct HmcParams
     u64 responseHeaderBytes = 16; //!< response packet header+tail
     DramTiming timing{};
 
+    /**
+     * HMC-2.0-style link-retry protocol (only exercised under fault
+     * injection — see FaultParams). A packet that takes a CRC error is
+     * replayed from the link's retry buffer after `retryLatency`
+     * cycles of detection + turnaround, with exponential backoff on
+     * repeated failures; the retry buffer holds `retryBufferPackets`
+     * unacknowledged packets and stalls the link (token flow control)
+     * when full. After `maxRetries` failed replays of one packet the
+     * link gives up retrying and forces the packet through (counted as
+     * `retry_aborts` — the simulator's data path is functional, so
+     * "poisoned" delivery only matters for the statistics).
+     */
+    unsigned retryBufferPackets = 8;
+    Cycle retryLatency = 16;
+    unsigned maxRetries = 16;
+
+    FaultParams fault{};
+
     static HmcParams fromConfig(const Config &cfg);
 };
 
@@ -72,15 +91,27 @@ class HmcMemory : public MemorySystem
      * Ship an opaque package of `bytes` from host to the logic layer
      * (PIM offload). Charged on the transmit link of the cube owning
      * `route_addr` (§V-E: a package maps to a single HMC) and counted
-     * as off-chip package traffic.
+     * as off-chip package traffic. A nonzero `deadline` makes the
+     * package carry a timeout: arrival past the deadline is counted
+     * (`package_deadline_misses`) and traced so offload paths can
+     * degrade instead of waiting forever.
      * @return arrival cycle at that cube's logic layer
      */
     Cycle hostToDevice(u64 bytes, TrafficClass cls, Cycle now,
-                       Addr route_addr = 0);
+                       Addr route_addr = 0, Cycle deadline = 0);
 
     /** Ship a package from the logic layer back to the host. */
     Cycle deviceToHost(u64 bytes, TrafficClass cls, Cycle now,
-                       Addr route_addr = 0);
+                       Addr route_addr = 0, Cycle deadline = 0);
+
+    /**
+     * Observed link retry rate (retransmissions / packets) of the cube
+     * owning `addr`, cumulative over the run; 0 until the cube has
+     * carried `min_packets` packets (too little evidence to act on).
+     * This is the signal the PIM offload paths use to degrade to
+     * host-side filtering when a cube's links misbehave.
+     */
+    double observedLinkRetryRate(Addr addr, u64 min_packets = 0) const;
 
     /** Internal (in-cube) traffic meter, for reports. */
     const TrafficMeter &internalTraffic() const { return internal_; }
@@ -103,12 +134,26 @@ class HmcMemory : public MemorySystem
         GapResource bus; //!< TSV bundle occupancy
     };
 
+    /** One direction of a cube's serial-link bundle. */
+    struct Link
+    {
+        GapResource res;
+        FaultInjector inj; //!< per-packet CRC-error site
+        /** Retry buffer: per-slot retransmission-complete times (ring).
+         *  A full buffer stalls the next retry — token flow control. */
+        std::vector<double> retrySlots;
+        size_t head = 0;
+    };
+
     struct Cube
     {
         std::vector<Vault> vaults;
-        GapResource txLink;
-        GapResource rxLink;
+        Link tx;
+        Link rx;
         GapResource internalAgg; //!< cube-wide internal-bandwidth cap
+        FaultInjector vaultInj;  //!< transient vault/ECC error site
+        u64 linkPackets = 0;     //!< packets carried, both directions
+        u64 linkRetries = 0;     //!< retransmissions, both directions
     };
 
     /** Which cube owns an address (1 MiB interleave). */
@@ -117,6 +162,17 @@ class HmcMemory : public MemorySystem
     /** Route an access through switch + vault; returns data-ready cycle. */
     Cycle vaultAccess(Addr addr, u64 bytes, Cycle start,
                       RowBufferOutcome &outcome);
+
+    /**
+     * Transmit one packet on `link`, including any CRC-error replays
+     * the link's fault site injects; returns the serialization-done
+     * time of the (last) successful transmission.
+     */
+    double sendPacket(Cube &cube, Link &link, double now, u64 bytes,
+                      double bytes_per_cyc);
+
+    /** Count a missed package deadline (nonzero `deadline` only). */
+    void notePackageDeadline(Cycle deadline, Cycle arrive);
 
     HmcParams params_;
     double tx_bw_; //!< bytes per cycle host->cube

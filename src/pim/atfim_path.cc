@@ -13,9 +13,10 @@ namespace texpim {
 AtfimTexturePath::AtfimTexturePath(const GpuParams &gpu,
                                    const AtfimParams &atfim,
                                    const PimPacketParams &pkts,
-                                   HmcMemory &hmc)
+                                   HmcMemory &hmc,
+                                   const RobustnessParams &robustness)
     : TexturePath("tex_atfim"), gpu_(gpu), atfim_(atfim), pkts_(pkts),
-      hmc_(hmc), l2_("atfim_l2", gpu.texL2),
+      hmc_(hmc), robust_(robustness, hmc), l2_("atfim_l2", gpu.texL2),
       unit_free_(gpu.clusters, 0)
 {
     l1_.reserve(gpu_.clusters);
@@ -51,6 +52,29 @@ AtfimTexturePath::AtfimTexturePath(const GpuParams &gpu,
                    "mismatches whose child set was identical");
     stats_.average("reuse_error",
                    "mean abs error of reused parent texels (0..1)");
+    stats_.counter("fallback_child_blocks",
+                   "child-texel blocks fetched host-side by degraded "
+                   "offloads");
+}
+
+Cycle
+AtfimTexturePath::hostFallbackFetch(Cycle start, u64 total_children)
+{
+    robust_.countFallback(start);
+
+    u64 gran = atfim_.childFetchGranularityBytes;
+    Cycle mem_done = start;
+    for (Addr b : child_blocks_) {
+        mem_done = std::max(
+            mem_done,
+            hmc_.read(b, gran, TrafficClass::Texture, start));
+    }
+    // Host ALUs average the fetched children into parent texels.
+    Cycle combine = std::max<Cycle>(
+        1, (total_children + gpu_.texUnitTexelsPerCycle - 1) /
+               gpu_.texUnitTexelsPerCycle);
+    stats_.counter("fallback_child_blocks") += child_blocks_.size();
+    return mem_done + combine;
 }
 
 TexResponse
@@ -182,33 +206,12 @@ AtfimTexturePath::process(const TexRequest &req)
         // Offloading Unit: one compacted package for all missing
         // parents of this request (base address + per-parent offsets).
         Cycle offload_at = t0 + gpu_.texL1HitLatency + gpu_.texL2HitLatency;
-        u64 pkg_bytes = atfim_.compactPackages
-                            ? pkts_.atfimRequestBytes(n_miss)
-                            : n_miss * pkts_.readRequestBytes *
-                                  pkts_.offloadFactor;
-        // One package, one cube: parents and children share a texture
-        // (§V-E), so route by the first missing parent.
-        Addr route = scratch_.parents[miss_idx[0]].addr;
-        Cycle arrival = hmc_.hostToDevice(pkg_bytes,
-                                          TrafficClass::PimPackage,
-                                          offload_at, route);
-
-        // Texel Generator / Combination Unit pipeline occupancy (both
-        // 16-wide, fractional so small groups don't waste slots);
-        // decompose is a latency stage of the pipeline.
-        double gen_occupancy =
-            double(total_children) / double(atfim_.texelGeneratorAlus);
-        Cycle gen_cycles = Cycle(std::ceil(gen_occupancy));
-        Cycle combine = (total_children + atfim_.combinationAlus - 1) /
-                        atfim_.combinationAlus;
-        double pipe_start = logic_pipe_.reserve(double(arrival),
-                                                gen_occupancy);
-        Cycle fetch_at =
-            Cycle(pipe_start) + atfim_.decomposeLatency + gen_cycles;
 
         // Child Texel Consolidation: merge identical child fetches
         // into DRAM bursts (children of neighboring parents overlap
-        // heavily, which is exactly what this unit exploits).
+        // heavily, which is exactly what this unit exploits). Computed
+        // up front because the degraded host path fetches the same
+        // blocks.
         child_blocks_.clear();
         u64 gran = atfim_.childFetchGranularityBytes;
         for (unsigned i = 0; i < n_miss; ++i)
@@ -221,31 +224,90 @@ AtfimTexturePath::process(const TexRequest &req)
                 child_blocks_.end());
         }
 
-        Cycle mem_done = fetch_at;
-        for (Addr b : child_blocks_) {
-            mem_done = std::max(
-                mem_done,
-                hmc_.internalAccess(
-                    {b, gran, MemOp::Read, TrafficClass::Texture, fetch_at}));
+        // One package, one cube: parents and children share a texture
+        // (§V-E), so route by the first missing parent.
+        Addr route = scratch_.parents[miss_idx[0]].addr;
+
+        if (robust_.shouldBypass(route)) {
+            // Circuit breaker: the cube's links retry too often, so
+            // the parents are recalculated host-side instead.
+            parents_ready = std::max(
+                parents_ready,
+                hostFallbackFetch(offload_at, total_children));
+        } else {
+            u64 pkg_bytes = atfim_.compactPackages
+                                ? pkts_.atfimRequestBytes(n_miss)
+                                : n_miss * pkts_.readRequestBytes *
+                                      pkts_.offloadFactor;
+            Cycle deadline = robust_.deadline(offload_at);
+            Cycle arrival = hmc_.hostToDevice(pkg_bytes,
+                                              TrafficClass::PimPackage,
+                                              offload_at, route, deadline);
+            if (robust_.timedOut(deadline, arrival)) {
+                // The request package blew its deadline before the
+                // logic layer saw it; flow control cancels it and the
+                // host recalculates from the deadline.
+                parents_ready = std::max(
+                    parents_ready,
+                    hostFallbackFetch(deadline, total_children));
+            } else {
+                // Texel Generator / Combination Unit pipeline occupancy
+                // (both 16-wide, fractional so small groups don't waste
+                // slots); decompose is a latency stage of the pipeline.
+                double gen_occupancy =
+                    double(total_children) /
+                    double(atfim_.texelGeneratorAlus);
+                Cycle gen_cycles = Cycle(std::ceil(gen_occupancy));
+                Cycle combine =
+                    (total_children + atfim_.combinationAlus - 1) /
+                    atfim_.combinationAlus;
+                double pipe_start = logic_pipe_.reserve(double(arrival),
+                                                        gen_occupancy);
+                Cycle fetch_at =
+                    Cycle(pipe_start) + atfim_.decomposeLatency + gen_cycles;
+
+                Cycle mem_done = fetch_at;
+                for (Addr b : child_blocks_) {
+                    mem_done = std::max(
+                        mem_done,
+                        hmc_.internalAccess({b, gran, MemOp::Read,
+                                             TrafficClass::Texture,
+                                             fetch_at}));
+                }
+
+                // Combination Unit averaging drains behind the child
+                // fetches, then the composing stage groups the
+                // response package.
+                Cycle done = mem_done + combine + atfim_.composeLatency;
+
+                Cycle back =
+                    hmc_.deviceToHost(pkts_.atfimResponseBytes(n_miss),
+                                      TrafficClass::PimPackage, done,
+                                      route, deadline);
+
+                TEXPIM_TRACE_COMPLETE("pim", "atfim_offload",
+                                      320 + req.clusterId, offload_at,
+                                      back - offload_at);
+                stats_.counter("offload_packages") += 1;
+                stats_.counter("parents_offloaded") += n_miss;
+                stats_.counter("children_generated") += total_children;
+                stats_.counter("child_blocks_fetched") +=
+                    child_blocks_.size();
+                stats_.counter("texel_gen_ops") += total_children;
+                stats_.counter("combine_ops") += total_children;
+
+                if (robust_.timedOut(deadline, back)) {
+                    // The logic layer did the work but the response
+                    // missed the deadline; the host stops waiting and
+                    // refetches the children itself.
+                    parents_ready = std::max(
+                        parents_ready,
+                        hostFallbackFetch(deadline, total_children));
+                } else {
+                    parents_ready = std::max(parents_ready, back);
+                }
+            }
         }
-
-        // Combination Unit averaging drains behind the child fetches,
-        // then the composing stage groups the response package.
-        Cycle done = mem_done + combine + atfim_.composeLatency;
-
-        Cycle back = hmc_.deviceToHost(pkts_.atfimResponseBytes(n_miss),
-                                       TrafficClass::PimPackage, done,
-                                       route);
-        parents_ready = std::max(parents_ready, back);
-
-        TEXPIM_TRACE_COMPLETE("pim", "atfim_offload", 320 + req.clusterId,
-                              offload_at, back - offload_at);
-        stats_.counter("offload_packages") += 1;
-        stats_.counter("parents_offloaded") += n_miss;
-        stats_.counter("children_generated") += total_children;
-        stats_.counter("child_blocks_fetched") += child_blocks_.size();
-        stats_.counter("texel_gen_ops") += total_children;
-        stats_.counter("combine_ops") += total_children;
     }
 
     // Host bilinear/trilinear over the (approximated) parent texels.
@@ -288,6 +350,7 @@ void
 AtfimTexturePath::resetStats()
 {
     TexturePath::resetStats();
+    robust_.stats().resetAll();
     for (auto &c : l1_)
         c->resetStats();
     l2_.resetStats();

@@ -37,6 +37,7 @@
 #include "mem/gap_resource.hh"
 #include "mem/hmc.hh"
 #include "pim/packages.hh"
+#include "pim/robustness.hh"
 
 namespace texpim {
 
@@ -69,9 +70,12 @@ class AtfimTexturePath : public TexturePath
 {
   public:
     AtfimTexturePath(const GpuParams &gpu, const AtfimParams &atfim,
-                     const PimPacketParams &pkts, HmcMemory &hmc);
+                     const PimPacketParams &pkts, HmcMemory &hmc,
+                     const RobustnessParams &robustness = {});
 
     TexResponse process(const TexRequest &req) override;
+
+    u64 fallbacks() const override { return robust_.fallbacks(); }
 
     /** Frame boundary: rewind pipeline timing; caches and stored
      *  parent values persist so inter-frame angle reuse (§V-C's
@@ -88,10 +92,22 @@ class AtfimTexturePath : public TexturePath
     const AtfimParams &params() const { return atfim_; }
 
   private:
+    /**
+     * Degraded parent recalculation with B-PIM semantics: the already-
+     * consolidated `child_blocks_` are fetched as ordinary host reads
+     * over the external links starting at `start`, and the host ALUs
+     * average the children into parent texels. The parent *values* are
+     * the same either way (they were computed functionally up front),
+     * so degradation never changes the image. Returns the cycle the
+     * recalculated parents are ready.
+     */
+    Cycle hostFallbackFetch(Cycle start, u64 total_children);
+
     GpuParams gpu_;
     AtfimParams atfim_;
     PimPacketParams pkts_;
     HmcMemory &hmc_;
+    PimRobustness robust_;
 
     std::vector<std::unique_ptr<TagCache>> l1_;
     TagCache l2_;

@@ -1,0 +1,51 @@
+#include "pim/robustness.hh"
+
+#include "common/logging.hh"
+#include "common/trace_events.hh"
+
+namespace texpim {
+
+RobustnessParams
+RobustnessParams::fromConfig(const Config &cfg)
+{
+    RobustnessParams p;
+    p.packageTimeout =
+        Cycle(cfg.getInt("fault_package_timeout", i64(p.packageTimeout)));
+    p.retryRateThreshold =
+        cfg.getDouble("fault_degrade_retry_rate", p.retryRateThreshold);
+    p.minPackets =
+        u64(cfg.getInt("fault_degrade_min_packets", i64(p.minPackets)));
+    if (p.retryRateThreshold < 0.0 || p.retryRateThreshold > 1.0)
+        TEXPIM_FATAL("fault_degrade_retry_rate = ", p.retryRateThreshold,
+                     " not in [0, 1]");
+    return p;
+}
+
+PimRobustness::PimRobustness(const RobustnessParams &params, HmcMemory &hmc)
+    : params_(params), hmc_(hmc), stats_("pim")
+{
+    stats_.counter("fallbacks",
+                   "requests degraded from PIM offload to host-side "
+                   "filtering (B-PIM semantics)");
+    stats_.counter("timeouts",
+                   "offloads abandoned because a package blew its "
+                   "deadline");
+    stats_.counter("retry_rate_trips",
+                   "offloads bypassed by the link retry-rate circuit "
+                   "breaker");
+}
+
+void
+PimRobustness::countFallback(Cycle at)
+{
+    ++stats_.counter("fallbacks");
+    TEXPIM_TRACE_INSTANT("fault", "pim_fallback", 312, at);
+}
+
+u64
+PimRobustness::fallbacks() const
+{
+    return stats_.findCounter("fallbacks").value();
+}
+
+} // namespace texpim

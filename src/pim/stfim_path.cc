@@ -10,9 +10,10 @@ namespace texpim {
 StfimTexturePath::StfimTexturePath(const GpuParams &gpu,
                                    const MtuParams &mtu,
                                    const PimPacketParams &pkts,
-                                   HmcMemory &hmc)
+                                   HmcMemory &hmc,
+                                   const RobustnessParams &robustness)
     : TexturePath("tex_stfim"), gpu_(gpu), mtu_params_(mtu), pkts_(pkts),
-      hmc_(hmc)
+      hmc_(hmc), robust_(robustness, hmc)
 {
     TEXPIM_ASSERT(mtu_params_.requestQueueEntries > 0,
                   "MTU needs a request queue");
@@ -27,6 +28,34 @@ StfimTexturePath::StfimTexturePath(const GpuParams &gpu,
     stats_.counter("packages", "request+response packages over the links");
     stats_.counter("addr_ops", "MTU address-generation ALU ops");
     stats_.counter("filter_ops", "MTU filtering ALU ops");
+    stats_.counter("fallback_host_blocks",
+                   "texel blocks fetched host-side by degraded requests");
+}
+
+TexResponse
+StfimTexturePath::hostFallback(const TexRequest &req, Cycle start,
+                               unsigned texels)
+{
+    robust_.countFallback(start);
+
+    // B-PIM semantics: the blocks the MTU would have read from its
+    // vaults are fetched as ordinary host reads over the external
+    // links, then filtered on the host shader cluster's ALUs.
+    u64 gran = mtu_params_.fetchGranularityBytes;
+    Cycle mem_done = start;
+    for (Addr b : blocks_) {
+        mem_done = std::max(
+            mem_done,
+            hmc_.read(b, gran, TrafficClass::Texture, start));
+    }
+    Cycle filter = std::max<Cycle>(
+        1, (texels + gpu_.texUnitTexelsPerCycle - 1) /
+               gpu_.texUnitTexelsPerCycle);
+    Cycle complete = mem_done + filter;
+
+    stats_.counter("fallback_host_blocks") += blocks_.size();
+    recordRequest(req.wanted ? req.wanted : req.issue, complete);
+    return {scratch_.color, complete};
 }
 
 void
@@ -52,6 +81,24 @@ StfimTexturePath::process(const TexRequest &req)
                        scratch_);
     unsigned texels = unsigned(scratch_.fetches.size());
 
+    // Coalesce texel fetches into DRAM bursts within this request
+    // (both the MTU and the degraded host path fetch these blocks).
+    blocks_.clear();
+    u64 gran = mtu_params_.fetchGranularityBytes;
+    for (const auto &f : scratch_.fetches)
+        blocks_.push_back(f.addr & ~(gran - 1));
+    std::sort(blocks_.begin(), blocks_.end());
+    blocks_.erase(std::unique(blocks_.begin(), blocks_.end()),
+                  blocks_.end());
+
+    // Packages route to the cube owning this request's texture (§V-E).
+    Addr route = scratch_.fetches.empty() ? 0 : scratch_.fetches[0].addr;
+
+    // Circuit breaker: a cube whose links are retrying too often is
+    // not offered the offload at all.
+    if (robust_.shouldBypass(route))
+        return hostFallback(req, req.issue, texels);
+
     // 1. Request package to the HMC over the transmit link. Requests
     //    are batched per fragment quad (one package carries
     //    requestsPerPackage requests; each is charged its share).
@@ -63,10 +110,18 @@ StfimTexturePath::process(const TexRequest &req)
         ++stats_.counter("queue_stalls");
     u64 req_share = std::max<u64>(
         1, pkts_.stfimRequestBytes() / mtu_params_.requestsPerPackage);
-    // Packages route to the cube owning this request's texture (§V-E).
-    Addr route = scratch_.fetches.empty() ? 0 : scratch_.fetches[0].addr;
+    Cycle deadline = robust_.deadline(send_at);
     Cycle arrival = hmc_.hostToDevice(req_share, TrafficClass::PimPackage,
-                                      send_at, route);
+                                      send_at, route, deadline);
+    if (robust_.timedOut(deadline, arrival)) {
+        // The shader gave up at the deadline; flow control cancels the
+        // in-flight package, so the MTU never works on it. The queue
+        // slot frees when the cancellation lands.
+        mtu.queueSlots[mtu.head] = deadline;
+        mtu.head = (mtu.head + 1) % mtu.queueSlots.size();
+        stats_.counter("packages") += 1;
+        return hostFallback(req, deadline, texels);
+    }
 
     // 2. MTU pipeline: FIFO scheduler, address generation, texel
     //    fetches straight from the vaults (it has no cache; the DRAM
@@ -80,15 +135,6 @@ StfimTexturePath::process(const TexRequest &req)
     mtu.pipeFree = start + occupancy;
 
     Cycle t0 = start + addr_gen;
-
-    // Coalesce texel fetches into DRAM bursts within this request.
-    blocks_.clear();
-    u64 gran = mtu_params_.fetchGranularityBytes;
-    for (const auto &f : scratch_.fetches)
-        blocks_.push_back(f.addr & ~(gran - 1));
-    std::sort(blocks_.begin(), blocks_.end());
-    blocks_.erase(std::unique(blocks_.begin(), blocks_.end()),
-                  blocks_.end());
 
     Cycle mem_done = t0;
     for (Addr b : blocks_) {

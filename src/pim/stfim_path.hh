@@ -21,6 +21,7 @@
 #include "gpu/texture_path.hh"
 #include "mem/hmc.hh"
 #include "pim/packages.hh"
+#include "pim/robustness.hh"
 
 namespace texpim {
 
@@ -51,12 +52,22 @@ class StfimTexturePath : public TexturePath
 {
   public:
     StfimTexturePath(const GpuParams &gpu, const MtuParams &mtu,
-                     const PimPacketParams &pkts, HmcMemory &hmc);
+                     const PimPacketParams &pkts, HmcMemory &hmc,
+                     const RobustnessParams &robustness = {});
 
     TexResponse process(const TexRequest &req) override;
 
     /** Frame boundary: rewind MTU queues and pipelines. */
     void beginFrame() override;
+
+    u64 fallbacks() const override { return robust_.fallbacks(); }
+
+    void
+    resetStats() override
+    {
+        TexturePath::resetStats();
+        robust_.stats().resetAll();
+    }
 
   private:
     /** One Memory Texture Unit in the logic layer. */
@@ -67,10 +78,21 @@ class StfimTexturePath : public TexturePath
         Cycle pipeFree = 0;
     };
 
+    /**
+     * Degraded completion with B-PIM semantics, entered from `start`:
+     * the texel blocks are fetched with ordinary host reads over the
+     * external links and filtered by the host shader cluster. The
+     * color is the same `sampleConventional` result as the offload
+     * path, so degradation never changes the image.
+     */
+    TexResponse hostFallback(const TexRequest &req, Cycle start,
+                             unsigned texels);
+
     GpuParams gpu_;
     MtuParams mtu_params_;
     PimPacketParams pkts_;
     HmcMemory &hmc_;
+    PimRobustness robust_;
     std::vector<Mtu> mtus_; //!< one private MTU per cluster (§IV)
     SampleResult scratch_;
     std::vector<Addr> blocks_;

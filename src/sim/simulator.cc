@@ -38,6 +38,9 @@ writeSimResultJson(JsonWriter &w, const SimResult &r)
     w.keyValue("total", r.energy.total());
     w.endObject();
     w.keyValue("angle_recalcs", r.angleRecalcs);
+    w.keyValue("crc_errors", r.crcErrors);
+    w.keyValue("link_retries", r.linkRetries);
+    w.keyValue("pim_fallbacks", r.pimFallbacks);
     w.endObject();
 }
 
@@ -66,6 +69,7 @@ SimConfig::fromConfig(const Config &cfg)
     c.hmc = HmcParams::fromConfig(cfg);
     c.packets = PimPacketParams::fromConfig(cfg);
     c.energy = EnergyParams::fromConfig(cfg);
+    c.robustness = RobustnessParams::fromConfig(cfg);
     return c;
 }
 
@@ -99,15 +103,15 @@ RenderingSimulator::build()
         hmc_ = std::make_unique<HmcMemory>(cfg_.hmc);
         mem_ = hmc_.get();
         tex_path_ = std::make_unique<StfimTexturePath>(
-            cfg_.gpu, cfg_.mtu, cfg_.packets, *hmc_);
+            cfg_.gpu, cfg_.mtu, cfg_.packets, *hmc_, cfg_.robustness);
         break;
       case Design::ATfim: {
         hmc_ = std::make_unique<HmcMemory>(cfg_.hmc);
         mem_ = hmc_.get();
         AtfimParams ap = cfg_.atfim;
         ap.angleThresholdRad = cfg_.angleThresholdRad;
-        tex_path_ = std::make_unique<AtfimTexturePath>(cfg_.gpu, ap,
-                                                       cfg_.packets, *hmc_);
+        tex_path_ = std::make_unique<AtfimTexturePath>(
+            cfg_.gpu, ap, cfg_.packets, *hmc_, cfg_.robustness);
         break;
       }
       default:
@@ -230,6 +234,12 @@ RenderingSimulator::renderOnce(const Scene &scene)
 
     if (auto *atfim = dynamic_cast<AtfimTexturePath *>(tex_path_.get()))
         r.angleRecalcs = atfim->angleRecalcs();
+
+    if (hmc_) {
+        r.crcErrors = counterOr0(hmc_->stats(), "crc_errors");
+        r.linkRetries = counterOr0(hmc_->stats(), "link_retries");
+    }
+    r.pimFallbacks = tex_path_->fallbacks();
 
     return r;
 }

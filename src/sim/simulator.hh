@@ -18,6 +18,7 @@
 #include "mem/hmc.hh"
 #include "pim/atfim_path.hh"
 #include "pim/packages.hh"
+#include "pim/robustness.hh"
 #include "pim/stfim_path.hh"
 #include "power/energy_model.hh"
 #include "scene/game_profiles.hh"
@@ -43,6 +44,7 @@ struct SimConfig
     AtfimParams atfim{};
     PimPacketParams packets{};
     EnergyParams energy{};
+    RobustnessParams robustness{};
 
     /** Populate every sub-config from a key=value Config. */
     static SimConfig fromConfig(const Config &cfg);
@@ -64,6 +66,11 @@ struct SimResult
 
     EnergyBreakdown energy{};
     u64 angleRecalcs = 0; //!< A-TFIM threshold-forced recalculations
+
+    // Fault/robustness accounting (all 0 in fault-free runs).
+    u64 crcErrors = 0;    //!< link packets that took a CRC error
+    u64 linkRetries = 0;  //!< link-retry retransmissions
+    u64 pimFallbacks = 0; //!< offloads degraded to host-side filtering
 
     /** The rendered image (for PSNR in §VII-D). */
     std::shared_ptr<FrameBuffer> image;

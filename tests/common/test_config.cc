@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 
 namespace texpim {
 namespace {
@@ -77,6 +78,91 @@ TEST(Config, HexIntegers)
     Config c;
     c.set("addr", "0x1000");
     EXPECT_EQ(c.getInt("addr"), 0x1000);
+}
+
+TEST(Config, ParseItemSplitsOnFirstEqualsOnly)
+{
+    // Values may themselves contain '=' (e.g. output paths).
+    Config c;
+    c.parseItem("out=frames/a=b.ppm");
+    EXPECT_EQ(c.getString("out"), "frames/a=b.ppm");
+    c.parseItem("expr = x == y ");
+    EXPECT_EQ(c.getString("expr"), "x == y");
+}
+
+TEST(Config, UnknownKeysAreStoredButNeverQueriedKeys)
+{
+    Config c;
+    c.set("design", "atfim");
+    c.set("desing", "atfim"); // typo: never queried
+    (void)c.getString("design", "");
+    auto unknown = c.unknownKeys();
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "desing");
+
+    // The explicit known list also clears a key.
+    EXPECT_TRUE(c.unknownKeys({"desing"}).empty());
+}
+
+TEST(Config, SuggestKeyFindsCloseCandidate)
+{
+    Config c;
+    c.set("design", "atfim");
+    (void)c.getString("design", "");
+    EXPECT_EQ(c.suggestKey("desing"), "design");
+    EXPECT_EQ(c.suggestKey("strict_confg", {"strict_config"}),
+              "strict_config");
+    // Nothing close: no suggestion.
+    EXPECT_EQ(c.suggestKey("completely_different_key"), "");
+}
+
+TEST(Config, CheckKnownKeysWarnsByDefault)
+{
+    Config c;
+    c.set("design", "atfim");
+    c.set("desing", "atfim");
+    (void)c.getString("design", "");
+    u64 warns = warnCount();
+    c.checkKnownKeys();
+    EXPECT_EQ(warnCount(), warns + 1);
+}
+
+TEST(ConfigDeath, CheckKnownKeysStrictIsFatalWithSuggestion)
+{
+    Config c;
+    c.set("design", "atfim");
+    c.set("desing", "atfim");
+    (void)c.getString("design", "");
+    EXPECT_EXIT({ c.checkKnownKeys({}, true); },
+                testing::ExitedWithCode(1),
+                "unknown config key 'desing'.*did you mean 'design'");
+}
+
+TEST(ConfigDeath, IntErrorReportsKeyAndRawValue)
+{
+    Config c;
+    c.set("hmc.vaults", "thirty-two");
+    EXPECT_EXIT({ (void)c.getInt("hmc.vaults"); },
+                testing::ExitedWithCode(1),
+                "'hmc.vaults' = 'thirty-two' is not an integer");
+}
+
+TEST(ConfigDeath, DoubleErrorReportsKeyAndRawValue)
+{
+    Config c;
+    c.set("fault_link_ber", "1e-3x");
+    EXPECT_EXIT({ (void)c.getDouble("fault_link_ber"); },
+                testing::ExitedWithCode(1),
+                "'fault_link_ber' = '1e-3x' is not a number");
+}
+
+TEST(ConfigDeath, BoolErrorReportsKeyAndRawValue)
+{
+    Config c;
+    c.set("strict_config", "Maybe");
+    EXPECT_EXIT({ (void)c.getBool("strict_config"); },
+                testing::ExitedWithCode(1),
+                "'strict_config' = 'Maybe' is not a boolean");
 }
 
 TEST(ConfigDeath, MissingRequiredKeyIsFatal)

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/fault.hh"
+
+namespace texpim {
+namespace {
+
+TEST(FaultParams, FromConfigReadsKeys)
+{
+    Config cfg;
+    cfg.setInt("fault_seed", 123);
+    cfg.setDouble("fault_link_ber", 0.25);
+    cfg.setDouble("fault_vault_ber", 0.125);
+    cfg.setInt("fault_burst_len", 4);
+    FaultParams p = FaultParams::fromConfig(cfg);
+    EXPECT_EQ(p.seed, 123u);
+    EXPECT_DOUBLE_EQ(p.linkBer, 0.25);
+    EXPECT_DOUBLE_EQ(p.vaultBer, 0.125);
+    EXPECT_EQ(p.burstLen, 4u);
+    EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultParams, DefaultsAreDisabled)
+{
+    Config cfg;
+    FaultParams p = FaultParams::fromConfig(cfg);
+    EXPECT_FALSE(p.enabled());
+    EXPECT_DOUBLE_EQ(p.linkBer, 0.0);
+    EXPECT_DOUBLE_EQ(p.vaultBer, 0.0);
+}
+
+TEST(FaultParamsDeath, BerOutOfRangeIsFatal)
+{
+    Config cfg;
+    cfg.setDouble("fault_link_ber", 1.5);
+    EXPECT_EXIT({ (void)FaultParams::fromConfig(cfg); },
+                testing::ExitedWithCode(1), "fault_link_ber");
+}
+
+TEST(Fault, DisabledNeverFiresAndNeverCounts)
+{
+    FaultInjector f;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(f.fire());
+    EXPECT_FALSE(f.enabled());
+    EXPECT_EQ(f.trials(), 0u);
+    EXPECT_EQ(f.faults(), 0u);
+}
+
+TEST(Fault, AlwaysFiresAtProbabilityOne)
+{
+    FaultInjector f("test.p1", 1.0, 1, 42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(f.fire());
+    EXPECT_EQ(f.trials(), 100u);
+    EXPECT_EQ(f.faults(), 100u);
+}
+
+TEST(Fault, SameSeedSameSiteIsDeterministic)
+{
+    FaultInjector a("test.det", 0.3, 1, 7);
+    FaultInjector b("test.det", 0.3, 1, 7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_EQ(a.fire(), b.fire()) << "trial " << i;
+}
+
+TEST(Fault, DifferentSeedsDiverge)
+{
+    FaultInjector a("test.div", 0.3, 1, 7);
+    FaultInjector b("test.div", 0.3, 1, 8);
+    unsigned diffs = 0;
+    for (int i = 0; i < 10000; ++i)
+        diffs += a.fire() != b.fire();
+    EXPECT_GT(diffs, 0u);
+}
+
+TEST(Fault, DifferentSitesGetIndependentStreams)
+{
+    EXPECT_NE(faultSiteSeed(7, "hmc0.link_tx"),
+              faultSiteSeed(7, "hmc0.link_rx"));
+    FaultInjector a("site.a", 0.3, 1, 7);
+    FaultInjector b("site.b", 0.3, 1, 7);
+    unsigned diffs = 0;
+    for (int i = 0; i < 10000; ++i)
+        diffs += a.fire() != b.fire();
+    EXPECT_GT(diffs, 0u);
+}
+
+TEST(Fault, ObservedRateTracksProbability)
+{
+    FaultInjector f("test.rate", 0.1, 1, 99);
+    for (int i = 0; i < 100000; ++i)
+        f.fire();
+    double rate = double(f.faults()) / double(f.trials());
+    EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(Fault, BurstExtendsFaults)
+{
+    // With burst_len = 4, every fault run must be a multiple-of-4
+    // length (a fresh fire during a burst tail cannot happen because
+    // burst trials skip the RNG), and the overall fault rate must be
+    // roughly 4x the trigger probability.
+    FaultInjector f("test.burst", 0.02, 4, 5);
+    std::vector<unsigned> runs;
+    unsigned run = 0;
+    for (int i = 0; i < 100000; ++i) {
+        if (f.fire()) {
+            ++run;
+        } else if (run > 0) {
+            runs.push_back(run);
+            run = 0;
+        }
+    }
+    ASSERT_FALSE(runs.empty());
+    for (unsigned r : runs)
+        EXPECT_EQ(r % 4, 0u);
+    double rate = double(f.faults()) / double(f.trials());
+    EXPECT_NEAR(rate, 0.08, 0.02);
+}
+
+TEST(Fault, RegistryTracksEnabledSites)
+{
+    size_t before = FaultRegistry::instance().size();
+    {
+        FaultInjector on("reg.on", 0.5, 1, 1);
+        FaultInjector off; // disabled: must not register
+        EXPECT_EQ(FaultRegistry::instance().size(), before + 1);
+
+        // The registry entry follows the object across moves.
+        FaultInjector moved(std::move(on));
+        EXPECT_EQ(FaultRegistry::instance().size(), before + 1);
+        auto sites = FaultRegistry::instance().sites();
+        bool found = false;
+        for (const FaultInjector *s : sites)
+            found |= s == &moved;
+        EXPECT_TRUE(found);
+    }
+    EXPECT_EQ(FaultRegistry::instance().size(), before);
+}
+
+TEST(Fault, RegistryTotalsFaults)
+{
+    size_t base = FaultRegistry::instance().totalFaults();
+    FaultInjector f("reg.total", 1.0, 1, 1);
+    f.fire();
+    f.fire();
+    EXPECT_EQ(FaultRegistry::instance().totalFaults(), base + 2);
+    f.resetStats();
+    EXPECT_EQ(FaultRegistry::instance().totalFaults(), base);
+}
+
+} // namespace
+} // namespace texpim
