@@ -7,6 +7,9 @@
  *     package per missing parent when off);
  *   - S-TFIM with quad-batched packages (the packaging fix that does
  *     NOT rescue S-TFIM, showing the cache loss is the deeper issue).
+ *
+ * All six (config x workload) suites run on one ExperimentRunner pool
+ * (--jobs N / TEXPIM_JOBS).
  */
 
 #include "bench_common.hh"
@@ -30,59 +33,55 @@ main(int argc, char **argv)
         return double(r.textureTrafficBytes);
     };
 
-    SimConfig base;
-    base.design = Design::Baseline;
-    auto b = runSuite(base, opt);
-    auto base_frame = metricOf(b, frame);
-    auto base_traffic = metricOf(b, traffic);
-
-    ResultTable speed("rendering speedup vs baseline (x)",
-                      workloadLabels(opt));
-    ResultTable traf("normalized texture traffic", workloadLabels(opt));
-
+    std::vector<std::string> names{"Baseline"};
+    std::vector<SimConfig> cfgs(1);
+    cfgs[0].design = Design::Baseline;
     {
         SimConfig cfg;
         cfg.design = Design::ATfim;
-        auto r = runSuite(cfg, opt);
-        speed.addColumn("A-TFIM", ratio(base_frame, metricOf(r, frame)));
-        traf.addColumn("A-TFIM", ratio(metricOf(r, traffic), base_traffic));
+        cfgs.push_back(cfg);
+        names.push_back("A-TFIM");
     }
     {
         SimConfig cfg;
         cfg.design = Design::ATfim;
         cfg.atfim.consolidateChildren = false;
-        auto r = runSuite(cfg, opt);
-        speed.addColumn("no-consolidation",
-                        ratio(base_frame, metricOf(r, frame)));
-        traf.addColumn("no-consolidation",
-                       ratio(metricOf(r, traffic), base_traffic));
+        cfgs.push_back(cfg);
+        names.push_back("no-consolidation");
     }
     {
         SimConfig cfg;
         cfg.design = Design::ATfim;
         cfg.atfim.compactPackages = false;
-        auto r = runSuite(cfg, opt);
-        speed.addColumn("no-compaction",
-                        ratio(base_frame, metricOf(r, frame)));
-        traf.addColumn("no-compaction",
-                       ratio(metricOf(r, traffic), base_traffic));
+        cfgs.push_back(cfg);
+        names.push_back("no-compaction");
     }
     {
         SimConfig cfg;
         cfg.design = Design::STfim;
-        auto r = runSuite(cfg, opt);
-        speed.addColumn("S-TFIM", ratio(base_frame, metricOf(r, frame)));
-        traf.addColumn("S-TFIM", ratio(metricOf(r, traffic), base_traffic));
+        cfgs.push_back(cfg);
+        names.push_back("S-TFIM");
     }
     {
         SimConfig cfg;
         cfg.design = Design::STfim;
         cfg.mtu.requestsPerPackage = 4; // quad batching
-        auto r = runSuite(cfg, opt);
-        speed.addColumn("S-TFIM-quadpkg",
-                        ratio(base_frame, metricOf(r, frame)));
-        traf.addColumn("S-TFIM-quadpkg",
-                       ratio(metricOf(r, traffic), base_traffic));
+        cfgs.push_back(cfg);
+        names.push_back("S-TFIM-quadpkg");
+    }
+
+    auto all = runSuites(cfgs, opt);
+    auto base_frame = metricOf(all[0], frame);
+    auto base_traffic = metricOf(all[0], traffic);
+
+    ResultTable speed("rendering speedup vs baseline (x)",
+                      workloadLabels(opt));
+    ResultTable traf("normalized texture traffic", workloadLabels(opt));
+    for (size_t c = 1; c < cfgs.size(); ++c) {
+        speed.addColumn(names[c],
+                        ratio(base_frame, metricOf(all[c], frame)));
+        traf.addColumn(names[c],
+                       ratio(metricOf(all[c], traffic), base_traffic));
     }
 
     speed.print(std::cout);

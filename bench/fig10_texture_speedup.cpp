@@ -3,6 +3,10 @@
  * Fig. 10: normalized texture-filtering speedup of the four designs
  * (Baseline, B-PIM, S-TFIM, A-TFIM at the default 0.01 pi camera-angle
  * threshold).
+ *
+ * The whole (design x workload) grid is submitted to one
+ * ExperimentRunner pool (--jobs N / TEXPIM_JOBS), so the metrics JSON
+ * is byte-identical whatever the worker count.
  */
 
 #include "bench_common.hh"
@@ -22,34 +26,39 @@ main(int argc, char **argv)
         return double(r.textureFilterCycles);
     };
 
-    SimConfig base;
-    base.design = Design::Baseline;
-    auto b = runSuite(base, opt);
-    auto base_metric = metricOf(b, filt);
+    std::vector<std::string> names{"Baseline"};
+    std::vector<SimConfig> cfgs(1);
+    cfgs[0].design = Design::Baseline;
+    for (Design d : {Design::BPim, Design::STfim, Design::ATfim}) {
+        SimConfig cfg;
+        cfg.design = d;
+        cfg.angleThresholdRad = kThreshold001Pi;
+        cfgs.push_back(cfg);
+        std::string name = designName(d);
+        if (d == Design::ATfim)
+            name += "-001pi";
+        names.push_back(name);
+    }
+
+    auto all = runSuites(cfgs, opt);
+    auto base_metric = metricOf(all[0], filt);
 
     ResultTable table("texture filtering speedup (x)", workloadLabels(opt));
     std::vector<MetricSeries> series;
     table.addColumn("Baseline", ratio(base_metric, base_metric));
     series.push_back({"Baseline", ratio(base_metric, base_metric)});
-    for (Design d : {Design::BPim, Design::STfim, Design::ATfim}) {
-        SimConfig cfg;
-        cfg.design = d;
-        cfg.angleThresholdRad = kThreshold001Pi;
-        auto r = runSuite(cfg, opt);
-        std::string name = designName(d);
-        if (d == Design::ATfim)
-            name += "-001pi";
-        auto speedup = ratio(base_metric, metricOf(r, filt));
-        table.addColumn(name, speedup);
-        series.push_back({name, speedup});
+    for (size_t c = 1; c < cfgs.size(); ++c) {
+        auto speedup = ratio(base_metric, metricOf(all[c], filt));
+        table.addColumn(names[c], speedup);
+        series.push_back({names[c], speedup});
         // Fault/robustness accounting rides along for faulted sweeps
         // (all-zero series under the default fault-free config).
-        series.push_back({name + " hmc.link_retries",
-                          metricOf(r, [](const SimResult &sr) {
+        series.push_back({names[c] + " hmc.link_retries",
+                          metricOf(all[c], [](const SimResult &sr) {
                               return double(sr.linkRetries);
                           })});
-        series.push_back({name + " pim.fallbacks",
-                          metricOf(r, [](const SimResult &sr) {
+        series.push_back({names[c] + " pim.fallbacks",
+                          metricOf(all[c], [](const SimResult &sr) {
                               return double(sr.pimFallbacks);
                           })});
     }

@@ -4,6 +4,9 @@
  * device (texel fetches plus PIM packages), normalized to the
  * baseline, for B-PIM, S-TFIM and A-TFIM at the 0.01 pi and 0.05 pi
  * camera-angle thresholds.
+ *
+ * All five (design x workload) suites run on one ExperimentRunner
+ * pool (--jobs N / TEXPIM_JOBS).
  */
 
 #include "bench_common.hh"
@@ -23,36 +26,27 @@ main(int argc, char **argv)
         return double(r.textureTrafficBytes);
     };
 
-    SimConfig base;
-    base.design = Design::Baseline;
-    auto b = runSuite(base, opt);
-    auto base_metric = metricOf(b, traffic);
-
-    ResultTable table("normalized texture traffic", workloadLabels(opt));
-    table.addColumn("Baseline", ratio(base_metric, base_metric));
-
-    SimConfig bpim;
-    bpim.design = Design::BPim;
-    table.addColumn("B-PIM",
-                    ratio(metricOf(runSuite(bpim, opt), traffic),
-                          base_metric));
-
-    SimConfig stfim;
-    stfim.design = Design::STfim;
-    table.addColumn("S-TFIM",
-                    ratio(metricOf(runSuite(stfim, opt), traffic),
-                          base_metric));
-
+    std::vector<std::string> names{"Baseline", "B-PIM", "S-TFIM"};
+    std::vector<SimConfig> cfgs(3);
+    cfgs[0].design = Design::Baseline;
+    cfgs[1].design = Design::BPim;
+    cfgs[2].design = Design::STfim;
     for (float thr : {kThreshold001Pi, kThreshold005Pi}) {
         SimConfig atfim;
         atfim.design = Design::ATfim;
         atfim.angleThresholdRad = thr;
-        std::string name = thr == kThreshold001Pi ? "A-TFIM-001pi"
-                                                  : "A-TFIM-005pi";
-        table.addColumn(name,
-                        ratio(metricOf(runSuite(atfim, opt), traffic),
-                              base_metric));
+        cfgs.push_back(atfim);
+        names.push_back(thr == kThreshold001Pi ? "A-TFIM-001pi"
+                                               : "A-TFIM-005pi");
     }
+
+    auto all = runSuites(cfgs, opt);
+    auto base_metric = metricOf(all[0], traffic);
+
+    ResultTable table("normalized texture traffic", workloadLabels(opt));
+    for (size_t c = 0; c < cfgs.size(); ++c)
+        table.addColumn(names[c],
+                        ratio(metricOf(all[c], traffic), base_metric));
     table.print(std::cout);
     return 0;
 }

@@ -21,11 +21,6 @@ main(int argc, char **argv)
         return double(r.frame.frameCycles);
     };
 
-    SimConfig base;
-    base.design = Design::Baseline;
-    auto b = runSuite(base, opt);
-    auto base_metric = metricOf(b, frame);
-
     struct Point
     {
         const char *name;
@@ -37,15 +32,23 @@ main(int argc, char **argv)
         {"A-TFIM-no", kThresholdNoRecalc},
     };
 
-    ResultTable table("A-TFIM rendering speedup (x)", workloadLabels(opt));
+    // One pool for the baseline plus every threshold point.
+    std::vector<SimConfig> cfgs(1);
+    cfgs[0].design = Design::Baseline;
     for (const Point &p : points) {
         SimConfig cfg;
         cfg.design = Design::ATfim;
         cfg.angleThresholdRad = p.thr;
-        table.addColumn(p.name,
-                        ratio(base_metric,
-                              metricOf(runSuite(cfg, opt), frame)));
+        cfgs.push_back(cfg);
     }
+
+    auto all = runSuites(cfgs, opt);
+    auto base_metric = metricOf(all[0], frame);
+
+    ResultTable table("A-TFIM rendering speedup (x)", workloadLabels(opt));
+    for (size_t c = 1; c < cfgs.size(); ++c)
+        table.addColumn(points[c - 1].name,
+                        ratio(base_metric, metricOf(all[c], frame)));
     table.print(std::cout);
     return 0;
 }

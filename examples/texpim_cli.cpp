@@ -8,8 +8,17 @@
  *   texpim render  <game|trace.texpim> [key=value ...]
  *   texpim compare <game> [key=value ...]
  *   texpim frames  <game> <count> [key=value ...]
+ *   texpim sweep   [game ...] [key=value ...]
  *   texpim config  [key=value ...]
  *   texpim stats   [key=value ...]
+ *
+ * `sweep` runs the full (design x game) grid — all four designs over
+ * the listed games (default: all five paper games) — on a pool of
+ * jobs=N worker threads (see README "Running sweeps in parallel").
+ * Per-spec metrics and merged stats are byte-identical whatever
+ * jobs= is; with trace_out=, job k writes "<trace_out>.job<k>".
+ * metrics_out=<file.json> exports the per-spec sweep results
+ * ("texpim-sweep-v1").
  *
  * Recognized keys: every SimConfig key (design=..., gpu.*, hmc.*,
  * gddr5.*, atfim.*, energy.*, pim.*, fault_*) plus:
@@ -42,6 +51,7 @@
 #include "quality/image_metrics.hh"
 #include "scene/trace.hh"
 #include "sim/experiment.hh"
+#include "sim/runner/experiment_runner.hh"
 #include "sim/simulator.hh"
 
 using namespace texpim;
@@ -85,9 +95,10 @@ void
 validateConfig(const Config &cfg)
 {
     static const std::vector<std::string> cli_keys = {
-        "width",     "height",    "frame",    "seed",
-        "max_aniso", "out",       "compress", "stats_out",
-        "trace_out", "trace_cap", "strict_config"};
+        "width",     "height",    "frame",       "seed",
+        "max_aniso", "out",       "compress",    "stats_out",
+        "trace_out", "trace_cap", "strict_config", "jobs",
+        "metrics_out"};
     cfg.checkKnownKeys(cli_keys, cfg.getBool("strict_config", false));
 }
 
@@ -295,6 +306,114 @@ cmdFrames(int argc, char **argv)
     return 0;
 }
 
+/**
+ * The (design x game) grid on the ExperimentRunner job pool. Every
+ * output — the table, metrics_out JSON, merged stats_out — depends
+ * only on the spec list, never on jobs=, so runs are reproducible and
+ * comparable across machines (the thread-count invariance test pins
+ * this down).
+ */
+int
+cmdSweep(int argc, char **argv)
+{
+    // Positional game names come before the key=value items.
+    std::vector<std::string> games;
+    int first = 2;
+    while (first < argc && std::strchr(argv[first], '=') == nullptr)
+        games.push_back(argv[first++]);
+    if (games.empty())
+        games = {"doom3", "fear", "hl2", "riddick", "wolfenstein"};
+
+    Config cfg = collectConfig(argc, argv, first);
+    SimConfig proto = SimConfig::fromConfig(cfg);
+    unsigned width = unsigned(cfg.getInt("width", 640));
+    unsigned height = unsigned(cfg.getInt("height", 480));
+    unsigned frame = unsigned(cfg.getInt("frame", 3));
+    u64 seed = u64(cfg.getInt("seed", 0x7e01d));
+    unsigned max_aniso =
+        cfg.has("max_aniso") ? unsigned(cfg.getInt("max_aniso")) : 0;
+    std::string stats_out = cfg.getString("stats_out", "");
+    std::string metrics_out = cfg.getString("metrics_out", "");
+
+    RunnerOptions ropt;
+    ropt.jobs = unsigned(cfg.getInt("jobs", 1));
+    ropt.tracePath = cfg.getString("trace_out", "");
+    ropt.traceCap =
+        u64(cfg.getInt("trace_cap", i64(TraceEvents::kDefaultEventCap)));
+#if !TEXPIM_TRACING
+    if (!ropt.tracePath.empty())
+        TEXPIM_FATAL(
+            "trace_out= requires a build with -DTEXPIM_TRACING=ON");
+#endif
+    validateConfig(cfg);
+
+    std::vector<ExperimentSpec> specs;
+    for (Design d : {Design::Baseline, Design::BPim, Design::STfim,
+                     Design::ATfim}) {
+        for (const std::string &g : games) {
+            Game game;
+            if (!parseGame(g, game))
+                TEXPIM_FATAL("unknown game '", g, "'");
+            ExperimentSpec spec;
+            spec.config = proto;
+            spec.config.design = d;
+            spec.workload = Workload{game, width, height};
+            spec.frame = frame;
+            spec.seed = seed;
+            spec.maxAniso = max_aniso;
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    std::vector<ExperimentResult> results =
+        ExperimentRunner(ropt).run(specs);
+
+    for (const ExperimentResult &r : results) {
+        printResult(r.name.c_str(), r.result);
+        if (!r.traceFile.empty())
+            std::printf("%-10s wrote %s\n", "", r.traceFile.c_str());
+    }
+
+    if (!metrics_out.empty()) {
+        JsonWriter w;
+        w.beginObject();
+        w.keyValue("schema", "texpim-sweep-v1");
+        w.key("specs").beginArray();
+        for (const ExperimentResult &r : results) {
+            char hash[32];
+            std::snprintf(hash, sizeof hash, "%016llx",
+                          (unsigned long long)r.imageFnv1a);
+            w.beginObject();
+            w.keyValue("name", r.name);
+            w.keyValue("frame_cycles", u64(r.result.frame.frameCycles));
+            w.keyValue("texture_filter_cycles",
+                       u64(r.result.textureFilterCycles));
+            w.keyValue("texture_traffic_bytes",
+                       u64(r.result.textureTrafficBytes));
+            w.keyValue("offchip_total_bytes",
+                       u64(r.result.offChipTotalBytes));
+            w.keyValue("energy_mj", r.result.energy.total() * 1e3);
+            w.keyValue("image_fnv1a", std::string(hash));
+            w.keyValue("total_faults", u64(r.totalFaults));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        writeTextFile(metrics_out, w.str());
+        std::printf("wrote %s\n", metrics_out.c_str());
+    }
+
+    if (!stats_out.empty()) {
+        // "jobs" in the file is the number of merged per-spec
+        // snapshots, not the worker count, so the bytes stay identical
+        // whatever jobs= was.
+        writeSnapshotFile(stats_out, mergedStats(results),
+                          u64(results.size()));
+        std::printf("wrote %s\n", stats_out.c_str());
+    }
+    return 0;
+}
+
 int
 cmdConfig(int argc, char **argv)
 {
@@ -372,8 +491,9 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: texpim "
-                             "<render|compare|frames|config|stats> ...\n");
+        std::fprintf(stderr,
+                     "usage: texpim "
+                     "<render|compare|frames|sweep|config|stats> ...\n");
         return 2;
     }
     std::string cmd = argv[1];
@@ -383,6 +503,8 @@ main(int argc, char **argv)
         return cmdCompare(argc, argv);
     if (cmd == "frames")
         return cmdFrames(argc, argv);
+    if (cmd == "sweep")
+        return cmdSweep(argc, argv);
     if (cmd == "config")
         return cmdConfig(argc, argv);
     if (cmd == "stats")

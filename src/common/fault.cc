@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/sim_context.hh"
 
 namespace texpim {
 
@@ -43,27 +44,27 @@ FaultInjector::FaultInjector(std::string site, double probability,
     TEXPIM_ASSERT(probability_ >= 0.0 && probability_ <= 1.0,
                   "fault probability ", probability_, " not in [0, 1]");
     if (enabled()) {
-        FaultRegistry::instance().add(this);
-        registered_ = true;
+        registry_ = &SimContext::current().faults();
+        registry_->add(this);
     }
 }
 
 FaultInjector::~FaultInjector()
 {
-    if (registered_)
-        FaultRegistry::instance().remove(this);
+    if (registry_ != nullptr)
+        registry_->remove(this);
 }
 
 FaultInjector::FaultInjector(FaultInjector &&other) noexcept
     : site_(std::move(other.site_)), probability_(other.probability_),
       burst_len_(other.burst_len_), burst_left_(other.burst_left_),
       rng_(other.rng_), trials_(other.trials_), faults_(other.faults_),
-      registered_(other.registered_)
+      registry_(other.registry_)
 {
-    if (registered_) {
-        FaultRegistry::instance().remove(&other);
-        FaultRegistry::instance().add(this);
-        other.registered_ = false;
+    if (registry_ != nullptr) {
+        registry_->remove(&other);
+        registry_->add(this);
+        other.registry_ = nullptr;
     }
     other.probability_ = 0.0;
 }
@@ -73,8 +74,8 @@ FaultInjector::operator=(FaultInjector &&other) noexcept
 {
     if (this == &other)
         return *this;
-    if (registered_)
-        FaultRegistry::instance().remove(this);
+    if (registry_ != nullptr)
+        registry_->remove(this);
     site_ = std::move(other.site_);
     probability_ = other.probability_;
     burst_len_ = other.burst_len_;
@@ -82,11 +83,11 @@ FaultInjector::operator=(FaultInjector &&other) noexcept
     rng_ = other.rng_;
     trials_ = other.trials_;
     faults_ = other.faults_;
-    registered_ = other.registered_;
-    if (registered_) {
-        FaultRegistry::instance().remove(&other);
-        FaultRegistry::instance().add(this);
-        other.registered_ = false;
+    registry_ = other.registry_;
+    if (registry_ != nullptr) {
+        registry_->remove(&other);
+        registry_->add(this);
+        other.registry_ = nullptr;
     }
     other.probability_ = 0.0;
     return *this;
@@ -95,8 +96,7 @@ FaultInjector::operator=(FaultInjector &&other) noexcept
 FaultRegistry &
 FaultRegistry::instance()
 {
-    static FaultRegistry r;
-    return r;
+    return SimContext::current().faults();
 }
 
 void

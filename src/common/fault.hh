@@ -19,9 +19,11 @@
  * counters, so a faults-off simulation is bit-identical to a build
  * without the fault path.
  *
- * Every named injector registers itself with the global FaultRegistry,
- * making all live fault sites enumerable (the `texpim` CLI reports
- * them after a faulty run).
+ * Every named enabled injector registers itself with the FaultRegistry
+ * of the SimContext current at its construction (sim_context.hh),
+ * making all live fault sites of a simulation enumerable (the `texpim`
+ * CLI reports them after a faulty run) while keeping concurrent
+ * simulations' fault accounting fully isolated.
  */
 
 #ifndef TEXPIM_COMMON_FAULT_HH
@@ -118,16 +120,22 @@ class FaultInjector
     Rng rng_{};
     u64 trials_ = 0;
     u64 faults_ = 0;
-    bool registered_ = false;
+    /** Registry enrolled with (captured at construction), or null. */
+    class FaultRegistry *registry_ = nullptr;
 };
 
 /**
- * Global registry of every live enabled fault site, kept current by
- * FaultInjector's constructor/destructor/moves (mirrors StatRegistry).
+ * Per-SimContext registry of every live enabled fault site, kept
+ * current by FaultInjector's constructor/destructor/moves (mirrors
+ * StatRegistry).
  */
 class FaultRegistry
 {
   public:
+    FaultRegistry() = default;
+
+    /** The calling thread's current context's registry (compatibility
+     *  shim for SimContext::current().faults()). */
     static FaultRegistry &instance();
 
     FaultRegistry(const FaultRegistry &) = delete;
@@ -143,8 +151,6 @@ class FaultRegistry
 
   private:
     friend class FaultInjector;
-
-    FaultRegistry() = default;
 
     void add(FaultInjector *f);
     void remove(FaultInjector *f);

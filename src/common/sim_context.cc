@@ -1,0 +1,41 @@
+#include "common/sim_context.hh"
+
+namespace texpim {
+
+namespace {
+
+/** Innermost installed context for this thread (null = none). */
+thread_local SimContext *tls_current = nullptr;
+
+} // namespace
+
+SimContext &
+SimContext::processDefault()
+{
+    // Function-local static: constructed before the first StatGroup /
+    // FaultInjector that registers through current() (their
+    // constructors call this), therefore destroyed after the last one
+    // — no static-destruction-order hazard.
+    static SimContext ctx;
+    return ctx;
+}
+
+SimContext &
+SimContext::current()
+{
+    return tls_current != nullptr ? *tls_current : processDefault();
+}
+
+SimContext::Scope::Scope(SimContext &ctx) : prev_(tls_current)
+{
+    tls_current = &ctx;
+    TraceEvents::syncActive();
+}
+
+SimContext::Scope::~Scope()
+{
+    tls_current = prev_;
+    TraceEvents::syncActive();
+}
+
+} // namespace texpim

@@ -310,6 +310,51 @@ writeStatsFile(const std::string &path, const StatRegistry &reg)
     writeTextFile(path, csv ? statsToCsv(reg) : statsToJson(reg));
 }
 
+StatRegistry::Snapshot
+mergeSnapshots(const std::vector<StatRegistry::Snapshot> &parts)
+{
+    StatRegistry::Snapshot out;
+    for (const StatRegistry::Snapshot &part : parts) {
+        for (const auto &kv : part)
+            out[kv.first] += kv.second;
+    }
+    return out;
+}
+
+std::string
+snapshotToJson(const StatRegistry::Snapshot &snap, u64 jobs)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.keyValue("schema", "texpim-stats-merged-v1");
+    w.keyValue("jobs", jobs);
+    w.key("stats").beginObject();
+    for (const auto &kv : snap)
+        w.keyValue(kv.first, kv.second);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+snapshotToCsv(const StatRegistry::Snapshot &snap)
+{
+    std::ostringstream os;
+    os << "stat,value\n";
+    for (const auto &kv : snap)
+        os << csvField(kv.first) << "," << formatNumber(kv.second) << "\n";
+    return os.str();
+}
+
+void
+writeSnapshotFile(const std::string &path, const StatRegistry::Snapshot &snap,
+                  u64 jobs)
+{
+    bool csv = path.size() >= 4 &&
+               path.compare(path.size() - 4, 4, ".csv") == 0;
+    writeTextFile(path, csv ? snapshotToCsv(snap) : snapshotToJson(snap, jobs));
+}
+
 namespace json {
 
 const Value *

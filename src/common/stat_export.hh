@@ -99,6 +99,28 @@ void writeStatsFile(const std::string &path,
 /** Write arbitrary text to `path`; fatal() on failure. */
 void writeTextFile(const std::string &path, const std::string &text);
 
+/**
+ * Sum snapshots key-by-key (a key absent from a part contributes 0).
+ * Deterministic: output keys are sorted (std::map) and summation
+ * follows the order of `parts`, so merging per-job snapshots in
+ * submission order is byte-stable regardless of worker count — the
+ * ExperimentRunner's stat-merge building block.
+ */
+StatRegistry::Snapshot
+mergeSnapshots(const std::vector<StatRegistry::Snapshot> &parts);
+
+/** A (possibly merged) snapshot as a "texpim-stats-merged-v1" JSON
+ *  document: {"schema", "jobs", "stats": {key: value, ...}}. */
+std::string snapshotToJson(const StatRegistry::Snapshot &snap, u64 jobs = 1);
+
+/** The snapshot as CSV ("stat,value" rows under a fixed header). */
+std::string snapshotToCsv(const StatRegistry::Snapshot &snap);
+
+/** Write a snapshot to `path`, JSON or CSV by file extension (".csv"
+ *  selects CSV). fatal() if the file cannot be written. */
+void writeSnapshotFile(const std::string &path,
+                       const StatRegistry::Snapshot &snap, u64 jobs = 1);
+
 namespace json {
 
 /** A parsed JSON value (numbers are doubles, as in JavaScript). */

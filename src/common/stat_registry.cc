@@ -3,17 +3,14 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/sim_context.hh"
 
 namespace texpim {
 
 StatRegistry &
 StatRegistry::instance()
 {
-    // Function-local static: constructed before the first StatGroup
-    // (whose constructor calls this), therefore destroyed after the
-    // last one — no static-destruction-order hazard.
-    static StatRegistry reg;
-    return reg;
+    return SimContext::current().stats();
 }
 
 void

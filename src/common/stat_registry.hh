@@ -16,7 +16,10 @@
  *    sample counts), the building block for per-frame accounting;
  *  - bulk reset.
  *
- * Like the rest of the simulator, the registry is single-threaded.
+ * One registry belongs to one SimContext (sim_context.hh); instance()
+ * resolves to the calling thread's current context's registry, so the
+ * registry itself stays single-threaded — concurrent simulations each
+ * enumerate and mutate only their own.
  */
 
 #ifndef TEXPIM_COMMON_STAT_REGISTRY_HH
@@ -34,7 +37,10 @@ namespace texpim {
 class StatRegistry
 {
   public:
-    /** The process-wide registry. */
+    StatRegistry() = default;
+
+    /** The calling thread's current context's registry (compatibility
+     *  shim for SimContext::current().stats()). */
     static StatRegistry &instance();
 
     StatRegistry(const StatRegistry &) = delete;
@@ -75,8 +81,6 @@ class StatRegistry
 
   private:
     friend class StatGroup;
-
-    StatRegistry() = default;
 
     void add(StatGroup *g);
     void remove(StatGroup *g);

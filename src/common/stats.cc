@@ -4,7 +4,7 @@
 #include <iomanip>
 
 #include "common/logging.hh"
-#include "common/stat_registry.hh"
+#include "common/sim_context.hh"
 
 namespace texpim {
 
@@ -64,14 +64,15 @@ StatHistogram::reset()
     min_ = max_ = 0.0;
 }
 
-StatGroup::StatGroup(std::string name) : name_(std::move(name))
+StatGroup::StatGroup(std::string name)
+    : name_(std::move(name)), registry_(&SimContext::current().stats())
 {
-    StatRegistry::instance().add(this);
+    registry_->add(this);
 }
 
 StatGroup::~StatGroup()
 {
-    StatRegistry::instance().remove(this);
+    registry_->remove(this);
 }
 
 StatCounter &

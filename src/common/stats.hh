@@ -110,8 +110,10 @@ class StatHistogram
  * the group (node-based storage). The optional description is recorded
  * on first non-empty mention; hot-path re-lookups pass no description.
  *
- * Construction registers the group with StatRegistry::instance();
- * destruction unregisters it.
+ * Construction registers the group with the StatRegistry of the
+ * SimContext current on the constructing thread; destruction
+ * unregisters it from that same registry, so a group stays correctly
+ * enrolled even if the current context changes during its lifetime.
  */
 class StatGroup
 {
@@ -171,6 +173,7 @@ class StatGroup
 
   private:
     std::string name_;
+    class StatRegistry *registry_; //!< owner, captured at construction
     std::map<std::string, StatCounter> counters_;
     std::map<std::string, StatAverage> averages_;
     std::map<std::string, StatHistogram> histograms_;

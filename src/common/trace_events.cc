@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/sim_context.hh"
 #include "common/stat_export.hh"
 
 namespace texpim {
@@ -10,8 +11,13 @@ namespace texpim {
 TraceEvents &
 TraceEvents::instance()
 {
-    static TraceEvents tracer;
-    return tracer;
+    return SimContext::current().trace();
+}
+
+void
+TraceEvents::syncActive()
+{
+    active_ = SimContext::current().trace().enabled_;
 }
 
 void
@@ -23,15 +29,17 @@ TraceEvents::enable(const std::string &path, u64 max_events)
     path_ = path;
     cap_ = max_events;
     dropped_ = 0;
-    active_ = true;
+    enabled_ = true;
+    syncActive();
 }
 
 void
 TraceEvents::disable()
 {
-    if (!active_)
+    if (!enabled_)
         return;
-    active_ = false;
+    enabled_ = false;
+    syncActive();
     if (!path_.empty())
         flush();
     if (dropped_ > 0)

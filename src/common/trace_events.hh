@@ -10,8 +10,16 @@
  *  - compile time: building with -DTEXPIM_TRACING=0 compiles every
  *    macro to nothing (the `TEXPIM_TRACING` CMake option);
  *  - run time: with tracing compiled in but not enabled, each macro
- *    costs a single predictable branch on a global flag — no virtual
- *    call, no allocation, no lock (the simulator is single-threaded).
+ *    costs a single predictable branch on a thread-local flag — no
+ *    virtual call, no allocation, no lock.
+ *
+ * Each TraceEvents instance is owned by a SimContext (sim_context.hh)
+ * and is single-threaded within it: instance() resolves to the calling
+ * thread's current context's tracer, and the fast-path active() flag
+ * is a thread-local mirror of that tracer's enabled state, kept in
+ * sync by enable()/disable() and by SimContext::Scope switches. One
+ * worker thread tracing its own simulation never observes another's
+ * buffer.
  *
  * Timestamps are GPU core cycles emitted as-is in the "ts" field
  * (1 cycle displays as 1 us in the viewers). Event kinds used:
@@ -51,10 +59,26 @@ class TraceEvents
   public:
     static constexpr u64 kDefaultEventCap = 1'000'000;
 
+    TraceEvents() = default;
+
+    TraceEvents(const TraceEvents &) = delete;
+    TraceEvents &operator=(const TraceEvents &) = delete;
+
+    /** The calling thread's current context's tracer (compatibility
+     *  shim for SimContext::current().trace()). */
     static TraceEvents &instance();
 
-    /** Fast path guard read by the macros. */
+    /** Fast path guard read by the macros: is the current context's
+     *  tracer enabled? */
     static bool active() { return active_; }
+
+    /** Re-derive active() from the current context's tracer. Called on
+     *  enable/disable and by SimContext::Scope switches. */
+    static void syncActive();
+
+    /** Is *this* tracer recording? (active() answers for the current
+     *  context's tracer instead.) */
+    bool enabled() const { return enabled_; }
 
     /**
      * Start recording into an in-memory buffer destined for `path`.
@@ -85,8 +109,6 @@ class TraceEvents
     void counter(const char *cat, const char *name, Cycle ts, double value);
 
   private:
-    TraceEvents() = default;
-
     struct Event
     {
         char ph;         //!< 'B', 'E', 'X', 'i' or 'C'
@@ -100,12 +122,15 @@ class TraceEvents
 
     bool reserve(u64 n);
 
-    inline static bool active_ = false;
+    /** Thread-local mirror of the current context's tracer enabled_
+     *  flag — one branch on the macro fast path, per thread. */
+    inline static thread_local bool active_ = false;
 
     std::vector<Event> events_;
     std::string path_;
     u64 cap_ = kDefaultEventCap;
     u64 dropped_ = 0;
+    bool enabled_ = false;
 };
 
 } // namespace texpim

@@ -112,11 +112,13 @@ HostTexturePath::process(const TexRequest &req)
     stats_.counter("aniso_samples") += scratch_.anisoRatio;
     // Optional request tracing (TEXPIM_TRACE_TEX=N dumps every Nth
     // request's timing — see README "Debugging aids").
-    static long trace_every =
+    // thread_local: each worker thread throttles its own dump stream
+    // without racing (debug aid only; no effect on results).
+    static thread_local long trace_every =
         std::getenv("TEXPIM_TRACE_TEX")
             ? std::atol(std::getenv("TEXPIM_TRACE_TEX"))
             : 0;
-    static long trace_count = 0;
+    static thread_local long trace_count = 0;
     if (trace_every > 0 && ++trace_count % trace_every == 0) {
         std::fprintf(stderr,
                      "req#%ld c%u issue=%llu start=%llu t0=%llu ready=%llu "

@@ -176,7 +176,9 @@ AtfimTexturePath::process(const TexRequest &req)
                 ++stats_.counter("reuse_mismatches");
                 if (sp.childKey == child_key)
                     ++stats_.counter("reuse_mismatch_same_children");
-                static long dump_left =
+                // thread_local: workers dump their own budget without
+                // racing (debug aid only; no effect on results).
+                static thread_local long dump_left =
                     std::getenv("TEXPIM_DUMP_MISMATCH")
                         ? std::atol(std::getenv("TEXPIM_DUMP_MISMATCH"))
                         : 0;

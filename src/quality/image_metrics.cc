@@ -105,6 +105,27 @@ differingPixels(const FrameBuffer &a, const FrameBuffer &b)
     return n;
 }
 
+u64
+imageHash(const FrameBuffer &fb)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    auto mix = [&h](u64 byte) {
+        h ^= byte;
+        h *= 0x100000001b3ull;
+    };
+    for (unsigned v : {fb.width(), fb.height()}) {
+        for (int shift = 0; shift < 32; shift += 8)
+            mix((v >> shift) & 0xffu);
+    }
+    for (const Rgba8 &p : fb.colors()) {
+        mix(p.r);
+        mix(p.g);
+        mix(p.b);
+        mix(p.a);
+    }
+    return h;
+}
+
 void
 writePpm(const FrameBuffer &fb, const std::string &path)
 {

@@ -38,6 +38,14 @@ double ssim(const FrameBuffer &a, const FrameBuffer &b);
 /** Count of pixels whose RGB differs at all. */
 u64 differingPixels(const FrameBuffer &a, const FrameBuffer &b);
 
+/**
+ * FNV-1a (64-bit) over the RGBA bytes of the framebuffer in row-major
+ * order, dimensions mixed in first. Two framebuffers hash equal iff
+ * they are pixel-identical — the golden-image and runner-determinism
+ * tests compare these instead of shipping reference images.
+ */
+u64 imageHash(const FrameBuffer &fb);
+
 /** Write a binary PPM (P6). fatal() on I/O errors. */
 void writePpm(const FrameBuffer &fb, const std::string &path);
 

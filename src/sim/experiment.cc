@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <ostream>
 
 #include "common/logging.hh"
+#include "sim/runner/experiment_runner.hh"
 
 namespace texpim {
 
@@ -36,22 +38,58 @@ runWorkload(const SimConfig &cfg, const Workload &wl,
     return sim.renderScene(scene);
 }
 
+namespace {
+
+ExperimentSpec
+suiteSpec(const SimConfig &cfg, const Workload &wl, const SuiteOptions &opt)
+{
+    ExperimentSpec spec;
+    spec.config = cfg;
+    spec.workload = wl;
+    spec.frame = opt.frame;
+    spec.seed = opt.seed;
+    // Keep the paper's resolution-dependent anisotropy level even for
+    // downscaled quick runs (mirrors runWorkload).
+    spec.maxAniso = defaultMaxAniso(wl.width * opt.resolutionDivisor);
+    return spec;
+}
+
+} // namespace
+
+std::vector<std::vector<WorkloadResult>>
+runSuites(const std::vector<SimConfig> &configs, const SuiteOptions &opt)
+{
+    std::vector<Workload> workloads = suiteWorkloads(opt);
+
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(configs.size() * workloads.size());
+    for (const SimConfig &cfg : configs)
+        for (const Workload &wl : workloads)
+            specs.push_back(suiteSpec(cfg, wl, opt));
+
+    RunnerOptions ropt;
+    ropt.jobs = opt.jobs;
+    ropt.verbose = opt.verbose;
+    std::vector<ExperimentResult> results =
+        ExperimentRunner(ropt).run(specs);
+
+    std::vector<std::vector<WorkloadResult>> out(configs.size());
+    for (size_t c = 0; c < configs.size(); ++c) {
+        out[c].reserve(workloads.size());
+        for (size_t w = 0; w < workloads.size(); ++w) {
+            WorkloadResult r;
+            r.workload = workloads[w];
+            r.result = std::move(results[c * workloads.size() + w].result);
+            out[c].push_back(std::move(r));
+        }
+    }
+    return out;
+}
+
 std::vector<WorkloadResult>
 runSuite(const SimConfig &cfg, const SuiteOptions &opt)
 {
-    std::vector<WorkloadResult> out;
-    for (const Workload &wl : suiteWorkloads(opt)) {
-        WorkloadResult r;
-        r.workload = wl;
-        r.result = runWorkload(cfg, wl, opt);
-        if (opt.verbose) {
-            TEXPIM_INFORM(designName(cfg.design), " ", wl.label(), ": ",
-                          r.result.frame.frameCycles, " cycles, ",
-                          r.result.offChipTotalBytes, " off-chip bytes");
-        }
-        out.push_back(std::move(r));
-    }
-    return out;
+    return runSuites({cfg}, opt).front();
 }
 
 double
@@ -135,6 +173,8 @@ SuiteOptions
 parseSuiteArgs(int argc, char **argv)
 {
     SuiteOptions opt;
+    if (const char *env = std::getenv("TEXPIM_JOBS"); env && *env)
+        opt.jobs = unsigned(std::atoi(env));
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             opt.resolutionDivisor = 2;
@@ -144,9 +184,12 @@ parseSuiteArgs(int argc, char **argv)
             opt.frame = unsigned(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             opt.seed = u64(std::strtoull(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            opt.jobs = unsigned(std::atoi(argv[++i]));
         } else {
             TEXPIM_FATAL("unknown argument '", argv[i],
-                         "' (try --quick, --frame N, --seed S, --verbose)");
+                         "' (try --quick, --frame N, --seed S, --jobs N, "
+                         "--verbose)");
         }
     }
     return opt;

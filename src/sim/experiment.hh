@@ -32,14 +32,29 @@ struct SuiteOptions
     /** Optional downscale divisor for quick runs (1 = paper size). */
     unsigned resolutionDivisor = 1;
     bool verbose = false;
+    /** Worker threads for the suite grid (--jobs N / TEXPIM_JOBS;
+     *  0 = all hardware threads). Results are identical whatever this
+     *  is — see sim/runner/experiment_runner.hh. */
+    unsigned jobs = 1;
 };
 
 /** The workload list, optionally downscaled. */
 std::vector<Workload> suiteWorkloads(const SuiteOptions &opt);
 
-/** Run one design over the whole suite. */
+/** Run one design over the whole suite (runner-backed: the workloads
+ *  execute on opt.jobs worker threads, results in suite order). */
 std::vector<WorkloadResult> runSuite(const SimConfig &cfg,
                                      const SuiteOptions &opt);
+
+/**
+ * Run several design points over the whole suite through ONE worker
+ * pool: the full (config x workload) grid is submitted up front, so a
+ * slow tail workload of one design overlaps the next design's work.
+ * out[c][w] is configs[c] on suiteWorkloads(opt)[w], exactly what the
+ * corresponding runSuite calls would return.
+ */
+std::vector<std::vector<WorkloadResult>>
+runSuites(const std::vector<SimConfig> &configs, const SuiteOptions &opt);
 
 /** Run a single workload under a config. */
 SimResult runWorkload(const SimConfig &cfg, const Workload &wl,

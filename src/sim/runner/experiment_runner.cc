@@ -1,0 +1,116 @@
+#include "sim/runner/experiment_runner.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/stat_export.hh"
+#include "quality/image_metrics.hh"
+
+namespace texpim {
+
+std::string
+ExperimentSpec::defaultLabel() const
+{
+    return std::string(designName(config.design)) + "/" + workload.label() +
+           "/f" + std::to_string(frame);
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions opt) : opt_(std::move(opt))
+{}
+
+unsigned
+ExperimentRunner::effectiveJobs(size_t num_specs) const
+{
+    unsigned jobs = opt_.jobs;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    return unsigned(std::min<size_t>(jobs, std::max<size_t>(1, num_specs)));
+}
+
+ExperimentResult
+ExperimentRunner::runOne(const ExperimentSpec &spec)
+{
+    ExperimentResult out;
+    out.name = spec.name.empty() ? spec.defaultLabel() : spec.name;
+
+    Scene scene = buildGameScene(spec.workload, spec.frame, spec.seed);
+    scene.settings.maxAniso = spec.maxAniso != 0
+                                  ? spec.maxAniso
+                                  : defaultMaxAniso(spec.workload.width);
+
+    RenderingSimulator sim(spec.config);
+    out.result = sim.renderScene(scene);
+    out.imageFnv1a = imageHash(*out.result.image);
+
+    SimContext &ctx = SimContext::current();
+    out.stats = ctx.stats().snapshot();
+    out.totalFaults = ctx.faults().totalFaults();
+    return out;
+}
+
+std::vector<ExperimentResult>
+ExperimentRunner::run(const std::vector<ExperimentSpec> &specs)
+{
+    std::vector<ExperimentResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    // Self-scheduling queue: workers claim the next unstarted spec.
+    // Which worker runs which spec varies; nothing about a result
+    // does, because every job lives in its own SimContext and writes
+    // only results[i].
+    std::atomic<size_t> next{0};
+    auto work = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size())
+                return;
+            SimContext ctx;
+            SimContext::Scope scope(ctx);
+            std::string trace_file;
+            if (!opt_.tracePath.empty()) {
+                trace_file = opt_.tracePath + ".job" + std::to_string(i);
+                ctx.trace().enable(trace_file, opt_.traceCap);
+            }
+            results[i] = runOne(specs[i]);
+            if (!trace_file.empty()) {
+                ctx.trace().disable(); // writes the file
+                results[i].traceFile = trace_file;
+            }
+            if (opt_.verbose) {
+                TEXPIM_INFORM("job ", i + 1, "/", specs.size(), " ",
+                              results[i].name, ": ",
+                              results[i].result.frame.frameCycles,
+                              " cycles");
+            }
+        }
+    };
+
+    unsigned jobs = effectiveJobs(specs.size());
+    if (jobs <= 1) {
+        // Inline serial path — same per-job contexts, no threads.
+        work();
+        return results;
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        workers.emplace_back(work);
+    for (std::thread &t : workers)
+        t.join();
+    return results;
+}
+
+StatRegistry::Snapshot
+mergedStats(const std::vector<ExperimentResult> &results)
+{
+    std::vector<StatRegistry::Snapshot> parts;
+    parts.reserve(results.size());
+    for (const ExperimentResult &r : results)
+        parts.push_back(r.stats);
+    return mergeSnapshots(parts);
+}
+
+} // namespace texpim

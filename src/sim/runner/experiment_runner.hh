@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Parallel experiment runner: execute a vector of fully independent
+ * simulations (design x workload x knobs x seed) on a pool of worker
+ * threads, returning results in submission order.
+ *
+ * Every paper figure runs such a grid; the simulations share nothing,
+ * so experiment-level parallelism is safe where intra-frame
+ * parallelism would not be (A-TFIM's angle cache is timing-fed).
+ * Each job executes inside its own SimContext (sim_context.hh), so
+ * statistics, trace events and fault accounting are isolated per
+ * simulation and the per-spec results are bit-identical whatever
+ * `jobs` is — including jobs=1, which runs the specs inline on the
+ * calling thread through the very same per-job-context path.
+ *
+ * Determinism contract (enforced by tests/sim/test_runner_determinism):
+ * for a fixed spec vector, cycles, images, stat snapshots and fault
+ * totals per spec do not depend on the worker count or on scheduling.
+ * Consumers that reduce across specs (metrics JSON, merged stats) do
+ * so in submission order, so their outputs are byte-identical too.
+ *
+ * Tracing: with RunnerOptions::tracePath set, job k writes its own
+ * Chrome-trace file "<tracePath>.job<k>" (k = spec index, not worker
+ * id, so file contents and names are schedule-independent).
+ */
+
+#ifndef TEXPIM_SIM_RUNNER_EXPERIMENT_RUNNER_HH
+#define TEXPIM_SIM_RUNNER_EXPERIMENT_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/sim_context.hh"
+#include "sim/simulator.hh"
+
+namespace texpim {
+
+/** One independent simulation: a design point applied to a workload
+ *  frame. */
+struct ExperimentSpec
+{
+    /** Label for tables/exports; defaultLabel() when empty. */
+    std::string name;
+
+    SimConfig config{};
+    Workload workload{};
+    unsigned frame = 3;   //!< camera-path position
+    u64 seed = 0x7e01d;   //!< content seed
+
+    /** Max anisotropy; 0 = defaultMaxAniso(workload.width). Callers
+     *  running downscaled grids pass the paper-size default so quick
+     *  runs keep the paper's resolution-dependent anisotropy. */
+    unsigned maxAniso = 0;
+
+    /** "<design>/<workload label>/f<frame>". */
+    std::string defaultLabel() const;
+};
+
+/** The outcome of one spec, captured before its SimContext died. */
+struct ExperimentResult
+{
+    std::string name;     //!< spec label (resolved)
+    SimResult result{};
+
+    /** Per-job snapshot of every stat the simulation registered. */
+    StatRegistry::Snapshot stats;
+
+    u64 imageFnv1a = 0;   //!< imageHash() of the rendered frame
+    u64 totalFaults = 0;  //!< FaultRegistry::totalFaults() of the job
+    std::string traceFile; //!< "" when tracing was off
+};
+
+struct RunnerOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 1;
+
+    /** Per-job Chrome-trace output: job k writes "<tracePath>.job<k>".
+     *  Empty disables tracing. */
+    std::string tracePath;
+    u64 traceCap = TraceEvents::kDefaultEventCap;
+
+    /** inform() one line as each job finishes. */
+    bool verbose = false;
+};
+
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerOptions opt = {});
+
+    /**
+     * Execute every spec and return results in submission order
+     * (results[i] corresponds to specs[i], whatever thread ran it).
+     */
+    std::vector<ExperimentResult> run(const std::vector<ExperimentSpec> &specs);
+
+    /** The resolved worker count run() will use. */
+    unsigned effectiveJobs(size_t num_specs) const;
+
+    const RunnerOptions &options() const { return opt_; }
+
+    /**
+     * Execute one spec in the *current* SimContext (run() wraps this
+     * in a fresh context per job; tests may call it directly).
+     */
+    static ExperimentResult runOne(const ExperimentSpec &spec);
+
+  private:
+    RunnerOptions opt_;
+};
+
+/** Sum the per-job stat snapshots in submission order (deterministic;
+ *  see mergeSnapshots()). */
+StatRegistry::Snapshot
+mergedStats(const std::vector<ExperimentResult> &results);
+
+} // namespace texpim
+
+#endif // TEXPIM_SIM_RUNNER_EXPERIMENT_RUNNER_HH

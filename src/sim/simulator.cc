@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include "common/logging.hh"
+#include "common/sim_context.hh"
 #include "common/stat_export.hh"
 #include "gpu/host_texture_path.hh"
 
@@ -73,7 +74,8 @@ SimConfig::fromConfig(const Config &cfg)
     return c;
 }
 
-RenderingSimulator::RenderingSimulator(const SimConfig &cfg) : cfg_(cfg)
+RenderingSimulator::RenderingSimulator(const SimConfig &cfg)
+    : cfg_(cfg), ctx_(SimContext::current())
 {
     build();
 }
@@ -147,6 +149,9 @@ counterOr0(const StatGroup &g, const std::string &name)
 SimResult
 RenderingSimulator::renderScene(const Scene &scene)
 {
+    TEXPIM_ASSERT(&SimContext::current() == &ctx_,
+                  "rendering under a different SimContext than the one "
+                  "this simulator was built under");
     // Cold state per frame, as the paper renders selected frames.
     build();
     return renderOnce(scene);
@@ -157,6 +162,9 @@ RenderingSimulator::renderSequence(const Workload &wl, unsigned num_frames,
                                    unsigned start_frame, u64 seed)
 {
     TEXPIM_ASSERT(num_frames > 0, "empty sequence");
+    TEXPIM_ASSERT(&SimContext::current() == &ctx_,
+                  "rendering under a different SimContext than the one "
+                  "this simulator was built under");
     build();
     std::vector<SimResult> out;
     out.reserve(num_frames);

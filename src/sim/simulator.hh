@@ -82,9 +82,19 @@ class JsonWriter;
  *  stats_out files and bench metric emitters). */
 void writeSimResultJson(JsonWriter &w, const SimResult &r);
 
+class SimContext;
+
 class RenderingSimulator
 {
   public:
+    /**
+     * Builds the pipeline for `cfg`. The simulator belongs to the
+     * SimContext current on the constructing thread: its components
+     * register their statistics and fault sites there, and every
+     * render call must run under that same context (asserted), which
+     * the ExperimentRunner guarantees by wrapping each job in one
+     * context from construction to teardown.
+     */
     explicit RenderingSimulator(const SimConfig &cfg);
     ~RenderingSimulator();
 
@@ -107,6 +117,9 @@ class RenderingSimulator
 
     const SimConfig &config() const { return cfg_; }
 
+    /** The observability context this simulator was built under. */
+    SimContext &context() const { return ctx_; }
+
     /** The memory system of the last renderScene call (for stats). */
     const MemorySystem &memory() const;
     /** The texture path of the last renderScene call. */
@@ -123,6 +136,7 @@ class RenderingSimulator
     SimResult renderOnce(const Scene &scene);
 
     SimConfig cfg_;
+    SimContext &ctx_; //!< context captured at construction
     std::unique_ptr<Gddr5Memory> gddr5_;
     std::unique_ptr<HmcMemory> hmc_;
     std::unique_ptr<TexturePath> tex_path_;

@@ -23,6 +23,65 @@ TEST(OutstandingMisses, CompletedEntryNoLongerMerges)
     EXPECT_EQ(o.lookup(0x100, 60), kNeverCycle);
 }
 
+TEST(OutstandingMisses, ExpiryBoundaryIsExclusive)
+{
+    // An entry completing at cycle R merges at R-1 but is dead at R:
+    // the fill has landed in the cache, so a request issued at R sees
+    // a normal hit/miss there, not a merge.
+    OutstandingMisses o;
+    o.insert(0x100, 50);
+    EXPECT_EQ(o.lookup(0x100, 49), 50u);
+    EXPECT_EQ(o.lookup(0x100, 50), kNeverCycle);
+    // The expired probe must not count as a merge.
+    EXPECT_EQ(o.merges(), 1u);
+}
+
+TEST(OutstandingMisses, ReinsertAfterExpiryStartsAFreshMiss)
+{
+    OutstandingMisses o;
+    o.insert(0x100, 50);
+    EXPECT_EQ(o.lookup(0x100, 60), kNeverCycle); // expired
+    o.insert(0x100, 90);                         // line fetched again
+    EXPECT_EQ(o.lookup(0x100, 60), 90u);
+    EXPECT_EQ(o.misses(), 2u);
+    EXPECT_EQ(o.merges(), 1u);
+}
+
+TEST(OutstandingMisses, InsertOverwritesCompletionCycle)
+{
+    // Re-inserting an in-flight line adopts the new completion time;
+    // later merges inherit it.
+    OutstandingMisses o;
+    o.insert(0x100, 50);
+    o.insert(0x100, 80);
+    EXPECT_EQ(o.lookup(0x100, 10), 80u);
+    EXPECT_EQ(o.inFlight(), 1u);
+}
+
+TEST(OutstandingMisses, EveryMergeInheritsTheSameCompletion)
+{
+    // N requests to one outstanding line = 1 miss + N-1 merges, all
+    // completing together (the MSHR contract the texture paths use).
+    OutstandingMisses o;
+    o.insert(0x100, 200);
+    for (Cycle now = 0; now < 100; now += 10)
+        EXPECT_EQ(o.lookup(0x100, now), 200u);
+    EXPECT_EQ(o.misses(), 1u);
+    EXPECT_EQ(o.merges(), 10u);
+}
+
+TEST(OutstandingMisses, ResetStatsKeepsEntriesInFlight)
+{
+    OutstandingMisses o;
+    o.insert(0x100, 50);
+    (void)o.lookup(0x100, 0);
+    o.resetStats();
+    EXPECT_EQ(o.merges(), 0u);
+    EXPECT_EQ(o.misses(), 0u);
+    // The tracker still knows the line is outstanding.
+    EXPECT_EQ(o.lookup(0x100, 0), 50u);
+}
+
 TEST(OutstandingMisses, DistinctLinesIndependent)
 {
     OutstandingMisses o;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cache/tag_cache.hh"
 
 namespace texpim {
@@ -86,6 +88,86 @@ TEST(TagCache, AnglePastThresholdRecalculates)
     EXPECT_EQ(c.angleMisses(), 1u);
     // The stored angle was refreshed, so repeating the access hits.
     EXPECT_EQ(c.accessAngled(0x0, far, thresh), CacheOutcome::Hit);
+}
+
+TEST(TagCache, AngleExactlyAtThresholdStillHits)
+{
+    // The reuse test is `diff <= threshold` (tag_cache.cc): a camera
+    // that moved by *exactly* the threshold still reuses the cached
+    // texel. Build the threshold from the same dequantized values the
+    // cache compares so the boundary is exact in float.
+    TagCache c("l1", smallCache());
+    u8 base_code = quantizeAngle(0.3f);
+    u8 far_code = u8(base_code + 5); // 5 degrees away after quantization
+    float base = dequantizeAngle(base_code);
+    float far = dequantizeAngle(far_code);
+    float thresh = far - base;
+
+    c.accessAngled(0x0, base, thresh);
+    EXPECT_EQ(c.accessAngled(0x0, far, thresh), CacheOutcome::Hit);
+    EXPECT_EQ(c.angleMisses(), 0u);
+
+    // One representable float below the threshold: recalculation.
+    TagCache c2("l1", smallCache());
+    float tighter = std::nextafterf(thresh, 0.0f);
+    c2.accessAngled(0x0, base, tighter);
+    EXPECT_EQ(c2.accessAngled(0x0, far, tighter), CacheOutcome::AngleMiss);
+}
+
+TEST(TagCache, SubQuantumAngleChangeIsInvisible)
+{
+    // Angles quantize to 1-degree codes before comparison, so a move
+    // smaller than half a degree cannot trigger recalculation even at
+    // threshold zero.
+    TagCache c("l1", smallCache());
+    float quarter_deg = 0.25f * kPi / 180.0f;
+    c.accessAngled(0x0, 0.5f, 0.0f);
+    EXPECT_EQ(quantizeAngle(0.5f), quantizeAngle(0.5f + quarter_deg));
+    EXPECT_EQ(c.accessAngled(0x0, 0.5f + quarter_deg, 0.0f),
+              CacheOutcome::Hit);
+}
+
+TEST(TagCache, AngleMissKeepsTheLineResident)
+{
+    // An angle miss is a tag hit: the texel stays cached (only its
+    // angle is refreshed), no victim is chosen, and plain accounting
+    // records neither a hit nor a capacity miss.
+    TagCache c("l1", smallCache());
+    float thresh = 0.01f * kPi;
+    c.accessAngled(0x0, 0.2f, thresh);
+    EXPECT_EQ(c.accessAngled(0x0, 1.2f, thresh), CacheOutcome::AngleMiss);
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.angleMisses(), 1u);
+    EXPECT_EQ(c.accesses(), 2u);
+}
+
+TEST(TagCache, AngleMissRefreshesToTheNewAngleNotAnAverage)
+{
+    // After recalculation the stored angle is the *new* camera angle:
+    // returning to the old angle now misses the threshold again.
+    TagCache c("l1", smallCache());
+    float thresh = 0.01f * kPi;
+    float a0 = 0.2f, a1 = 1.2f;
+    c.accessAngled(0x0, a0, thresh);
+    EXPECT_EQ(c.accessAngled(0x0, a1, thresh), CacheOutcome::AngleMiss);
+    EXPECT_EQ(c.accessAngled(0x0, a0, thresh), CacheOutcome::AngleMiss);
+    EXPECT_EQ(c.angleMisses(), 2u);
+}
+
+TEST(TagCache, EvictionDropsTheStoredAngle)
+{
+    // Once the line is evicted, re-access is a plain (capacity) miss
+    // regardless of angle history.
+    CacheParams p = smallCache();
+    TagCache c("l1", p);
+    float thresh = 0.01f * kPi;
+    c.accessAngled(0x0, 0.2f, thresh);
+    for (Addr i = 1; i <= 4; ++i) // same set, stride 256: evicts 0x0
+        c.accessAngled(i * 256, 0.2f, thresh);
+    EXPECT_FALSE(c.contains(0x0));
+    EXPECT_EQ(c.accessAngled(0x0, 0.2f, thresh), CacheOutcome::Miss);
 }
 
 TEST(TagCache, NegativeThresholdNeverRecalculates)

@@ -90,6 +90,53 @@ TEST(Config, ParseItemSplitsOnFirstEqualsOnly)
     EXPECT_EQ(c.getString("expr"), "x == y");
 }
 
+TEST(Config, EmptyValueIsStoredAsEmptyString)
+{
+    // "key=" is legal (e.g. clearing an output path on the CLI); the
+    // key exists with an empty value and string lookups return "".
+    Config c;
+    c.parseItem("out=");
+    EXPECT_TRUE(c.has("out"));
+    EXPECT_EQ(c.getString("out"), "");
+    EXPECT_EQ(c.getString("out", "fallback"), "");
+    c.parseItem("trace_out =   ");
+    EXPECT_EQ(c.getString("trace_out"), "");
+}
+
+TEST(Config, DoubleEqualsSplitsOnTheFirst)
+{
+    // "key==v" is key "key", value "=v" — the first '=' is the
+    // separator and everything after belongs to the value.
+    Config c;
+    c.parseItem("key==v");
+    EXPECT_EQ(c.getString("key"), "=v");
+    c.parseItem("a===");
+    EXPECT_EQ(c.getString("a"), "==");
+}
+
+TEST(Config, DuplicateKeysLastOneWins)
+{
+    // CLI overrides config-file text by parsing later: the most
+    // recent assignment is the one queries see, with no duplicates
+    // left in keys().
+    Config c;
+    c.parseItem("design=bpim");
+    c.parseItem("design=atfim");
+    EXPECT_EQ(c.getString("design"), "atfim");
+    c.parseText("n = 1\nn = 2\nn = 3\n");
+    EXPECT_EQ(c.getInt("n"), 3);
+    EXPECT_EQ(c.keys().size(), 2u);
+}
+
+TEST(ConfigDeath, EmptyKeyIsFatal)
+{
+    Config c;
+    EXPECT_EXIT({ c.parseItem("=value"); }, testing::ExitedWithCode(1),
+                "empty key");
+    EXPECT_EXIT({ c.parseItem("  = x"); }, testing::ExitedWithCode(1),
+                "empty key");
+}
+
 TEST(Config, UnknownKeysAreStoredButNeverQueriedKeys)
 {
     Config c;

@@ -52,22 +52,6 @@ run(Design d, const FaultKnobs &k = {})
     return sim.renderScene(testScene());
 }
 
-u64
-imageHash(const FrameBuffer &fb)
-{
-    // FNV-1a over the raw color words.
-    const auto &colors = fb.colors();
-    const unsigned char *bytes =
-        reinterpret_cast<const unsigned char *>(colors.data());
-    size_t n = colors.size() * sizeof(colors[0]);
-    u64 h = 1469598103934665603ull;
-    for (size_t i = 0; i < n; ++i) {
-        h ^= bytes[i];
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
 TEST(Degradation, DefaultsAreBitIdenticalToFaultFree)
 {
     // All fault_* knobs at their defaults must not change a cycle.
