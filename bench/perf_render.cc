@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Perf bench for the two-phase renderer: render one Doom3 frame at
+ * several `render_threads` settings, report frames/sec and the
+ * phase-1/phase-2 wall-clock breakdown, and write BENCH_PERF.json.
+ *
+ * The scene is built once and shared; each timed run constructs a
+ * fresh simulator in its own SimContext and times renderScene() only,
+ * so the numbers measure the renderer, not procedural content
+ * generation. Every run's image hash is compared against the first —
+ * the bench exits non-zero if any thread count changes the image,
+ * so a perf run doubles as a bit-identity smoke test.
+ *
+ * Usage:
+ *   perf_render [width=640] [height=480] [frame=3] [design=baseline]
+ *               [threads=0,1,4] [reps=3] [out=BENCH_PERF.json] [gate=0]
+ *
+ * threads=0 is the pre-split fused loop (the pre-PR serial renderer);
+ * 1 is the serial two-phase pipeline; N>1 parallelizes phase 1. With
+ * gate=1 the bench fails if the largest thread count is slower than
+ * render_threads=1 (the CI perf-smoke contract).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sim_context.hh"
+#include "common/stat_export.hh"
+#include "quality/image_metrics.hh"
+#include "scene/game_profiles.hh"
+#include "sim/design.hh"
+#include "sim/simulator.hh"
+
+using namespace texpim;
+
+namespace {
+
+double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct ThreadPoint
+{
+    unsigned threads = 0;
+    double wallSec = 0.0; //!< best (min) renderScene wall over reps
+    double phase1Sec = 0.0;
+    double phase2Sec = 0.0;
+    u64 recordBytes = 0;
+    u64 frameCycles = 0;
+    u64 imageHash = 0;
+};
+
+Design
+parseDesign(const std::string &d)
+{
+    if (d == "baseline")
+        return Design::Baseline;
+    if (d == "bpim")
+        return Design::BPim;
+    if (d == "stfim")
+        return Design::STfim;
+    if (d == "atfim")
+        return Design::ATfim;
+    std::fprintf(stderr, "perf_render: unknown design '%s'\n", d.c_str());
+    std::exit(2);
+}
+
+std::vector<unsigned>
+parseThreadList(const char *s)
+{
+    std::vector<unsigned> out;
+    while (*s != '\0') {
+        char *end = nullptr;
+        out.push_back(unsigned(std::strtoul(s, &end, 10)));
+        s = (*end == ',') ? end + 1 : end;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned width = 640, height = 480, frame = 3, reps = 3;
+    Design design = Design::Baseline;
+    std::vector<unsigned> threads = {0, 1, 4};
+    std::string out_path = "BENCH_PERF.json";
+    bool gate = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto val = [&](const char *k) -> const char * {
+            size_t n = std::strlen(k);
+            return std::strncmp(a, k, n) == 0 && a[n] == '='
+                       ? a + n + 1
+                       : nullptr;
+        };
+        if (const char *v = val("width"))
+            width = unsigned(std::atoi(v));
+        else if (const char *v = val("height"))
+            height = unsigned(std::atoi(v));
+        else if (const char *v = val("frame"))
+            frame = unsigned(std::atoi(v));
+        else if (const char *v = val("reps"))
+            reps = unsigned(std::atoi(v));
+        else if (const char *v = val("threads"))
+            threads = parseThreadList(v);
+        else if (const char *v = val("out"))
+            out_path = v;
+        else if (const char *v = val("gate"))
+            gate = std::atoi(v) != 0;
+        else if (const char *v = val("design"))
+            design = parseDesign(v);
+        else {
+            std::fprintf(stderr, "perf_render: unknown arg '%s'\n", a);
+            return 2;
+        }
+    }
+    if (threads.empty() || reps == 0) {
+        std::fprintf(stderr, "perf_render: empty threads/reps\n");
+        return 2;
+    }
+
+    Workload wl{Game::Doom3, width, height};
+    Scene scene = buildGameScene(wl, frame, 0x7e01d);
+    scene.settings.maxAniso = defaultMaxAniso(width);
+
+    std::printf("perf_render: %s %ux%u frame %u, design %s, %u reps\n\n",
+                wl.label().c_str(), width, height, frame,
+                designName(design), reps);
+    std::printf("%8s %10s %8s %9s %9s %11s\n", "threads", "wall_s", "fps",
+                "phase1_s", "phase2_s", "record_MiB");
+
+    std::vector<ThreadPoint> points;
+    for (unsigned t : threads) {
+        ThreadPoint pt;
+        pt.threads = t;
+        for (unsigned r = 0; r < reps; ++r) {
+            SimContext ctx;
+            SimContext::Scope scope(ctx);
+            SimConfig cfg;
+            cfg.design = design;
+            cfg.gpu.deterministicSchedule = true;
+            cfg.gpu.renderThreads = t;
+            RenderingSimulator sim(cfg);
+            double t0 = wallSeconds();
+            SimResult res = sim.renderScene(scene);
+            double wall = wallSeconds() - t0;
+            if (r == 0 || wall < pt.wallSec) {
+                pt.wallSec = wall;
+                pt.phase1Sec = res.frame.wallPhase1Sec;
+                pt.phase2Sec = res.frame.wallPhase2Sec;
+            }
+            pt.recordBytes = res.frame.recordBytes;
+            pt.frameCycles = res.frame.frameCycles;
+            pt.imageHash = imageHash(*res.image);
+        }
+        std::printf("%8u %10.3f %8.2f %9.3f %9.3f %11.2f\n", pt.threads,
+                    pt.wallSec, 1.0 / pt.wallSec, pt.phase1Sec,
+                    pt.phase2Sec, double(pt.recordBytes) / (1024 * 1024));
+        points.push_back(pt);
+    }
+
+    // Bit-identity across every thread count: the two-phase contract.
+    bool identical = true;
+    for (const ThreadPoint &pt : points)
+        if (pt.imageHash != points[0].imageHash ||
+            pt.frameCycles != points[0].frameCycles) {
+            std::fprintf(stderr,
+                         "FAIL: threads=%u diverged (hash 0x%llx vs "
+                         "0x%llx, cycles %llu vs %llu)\n",
+                         pt.threads,
+                         (unsigned long long)pt.imageHash,
+                         (unsigned long long)points[0].imageHash,
+                         (unsigned long long)pt.frameCycles,
+                         (unsigned long long)points[0].frameCycles);
+            identical = false;
+        }
+
+    JsonWriter w;
+    w.beginObject();
+    w.keyValue("schema", "texpim-perf-v1");
+    w.keyValue("bench", "perf_render");
+    w.keyValue("workload", wl.label());
+    w.keyValue("design", std::string(designName(design)));
+    w.keyValue("width", width);
+    w.keyValue("height", height);
+    w.keyValue("frame", frame);
+    w.keyValue("reps", reps);
+    // Interpreting parallel speedups needs the host's core count: a
+    // single-core runner legitimately shows none.
+    w.keyValue("host_threads", std::thread::hardware_concurrency());
+    w.keyValue("frame_cycles", points[0].frameCycles);
+    w.keyValue("bit_identical", identical);
+    w.key("runs").beginArray();
+    for (const ThreadPoint &pt : points) {
+        w.beginObject();
+        w.keyValue("render_threads", pt.threads);
+        w.keyValue("wall_sec", pt.wallSec);
+        w.keyValue("fps", 1.0 / pt.wallSec);
+        w.keyValue("wall_phase1_sec", pt.phase1Sec);
+        w.keyValue("wall_phase2_sec", pt.phase2Sec);
+        w.keyValue("record_bytes", pt.recordBytes);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    writeTextFile(out_path, w.str());
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    if (!identical)
+        return 1;
+
+    if (gate) {
+        // CI contract: the widest pool must not be slower than the
+        // serial two-phase pipeline.
+        const ThreadPoint *serial = nullptr, *widest = nullptr;
+        for (const ThreadPoint &pt : points) {
+            if (pt.threads == 1)
+                serial = &pt;
+            if (widest == nullptr || pt.threads > widest->threads)
+                widest = &pt;
+        }
+        if (serial != nullptr && widest != nullptr &&
+            widest->threads > 1 && widest->wallSec > serial->wallSec) {
+            std::fprintf(stderr,
+                         "FAIL: render_threads=%u (%.3fs) slower than "
+                         "render_threads=1 (%.3fs)\n",
+                         widest->threads, widest->wallSec,
+                         serial->wallSec);
+            return 1;
+        }
+    }
+    return 0;
+}

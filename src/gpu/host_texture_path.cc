@@ -36,17 +36,48 @@ HostTexturePath::HostTexturePath(const GpuParams &params, MemorySystem &mem)
     stats_.average("lat_mem", "memory portion of the request latency");
 }
 
-TexResponse
-HostTexturePath::process(const TexRequest &req)
+void
+HostTexturePath::sample(const TexRequest &req, ReplayStream &stream,
+                        SamplerScratch &scratch) const
 {
     TEXPIM_ASSERT(req.tex != nullptr, "texture request without texture");
     TEXPIM_ASSERT(req.clusterId < params_.clusters, "bad cluster id");
 
     // Functional filtering + the exact texel-fetch trace.
-    sampleConventional(*req.tex, req.coords, req.mode, req.maxAniso,
-                       scratch_);
+    SampleResult &res = scratch.conventional;
+    sampleConventional(*req.tex, req.coords, req.mode, req.maxAniso, res,
+                       scratch);
 
-    unsigned texels = unsigned(scratch_.fetches.size());
+    TexSampleRec rec;
+    rec.color = res.color;
+    rec.texels = unsigned(res.fetches.size());
+    rec.filterOps = res.filterOps;
+    rec.anisoRatio = res.anisoRatio;
+    rec.route = res.fetches.empty() ? 0 : res.fetches[0].addr;
+
+    // Deduplicate texel fetches to cache lines (the fetch unit
+    // coalesces within one request) — in place on the stream tail.
+    const TagCache &l1 = *l1_[req.clusterId];
+    rec.blockOff = u32(stream.blocks.size());
+    for (const auto &f : res.fetches)
+        stream.blocks.push_back(l1.lineAddr(f.addr));
+    auto tail = stream.blocks.begin() + rec.blockOff;
+    std::sort(tail, stream.blocks.end());
+    stream.blocks.erase(std::unique(tail, stream.blocks.end()),
+                        stream.blocks.end());
+    rec.blockCount = u32(stream.blocks.size()) - rec.blockOff;
+
+    stream.samples.push_back(rec);
+}
+
+TexResponse
+HostTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
+                        u32 idx)
+{
+    TEXPIM_ASSERT(req.clusterId < params_.clusters, "bad cluster id");
+    const TexSampleRec &rec = stream.samples[idx];
+
+    unsigned texels = rec.texels;
     // Each address ALU emits a 2x2 footprint per cycle and the filter
     // tree keeps pace, so the pipelined unit consumes
     // texUnitTexelsPerCycle texels per cycle end to end.
@@ -63,17 +94,10 @@ HostTexturePath::process(const TexRequest &req)
 
     Cycle t0 = start + addr_gen;
 
-    // Deduplicate texel fetches to cache lines (the fetch unit
-    // coalesces within one request).
     TagCache &l1 = *l1_[req.clusterId];
-    lines_.clear();
-    for (const auto &f : scratch_.fetches)
-        lines_.push_back(l1.lineAddr(f.addr));
-    std::sort(lines_.begin(), lines_.end());
-    lines_.erase(std::unique(lines_.begin(), lines_.end()), lines_.end());
-
     Cycle data_ready = t0 + params_.texL1HitLatency;
-    for (Addr line : lines_) {
+    for (u32 i = 0; i < rec.blockCount; ++i) {
+        Addr line = stream.blocks[rec.blockOff + i];
         if (l1.access(line) == CacheOutcome::Hit) {
             ++stats_.counter("l1_hits");
             continue;
@@ -106,10 +130,10 @@ HostTexturePath::process(const TexRequest &req)
     Cycle complete = data_ready + filter;
 
     stats_.counter("texels") += texels;
-    stats_.counter("lines") += lines_.size();
+    stats_.counter("lines") += rec.blockCount;
     stats_.counter("addr_ops") += texels;
-    stats_.counter("filter_ops") += scratch_.filterOps;
-    stats_.counter("aniso_samples") += scratch_.anisoRatio;
+    stats_.counter("filter_ops") += rec.filterOps;
+    stats_.counter("aniso_samples") += rec.anisoRatio;
     // Optional request tracing (TEXPIM_TRACE_TEX=N dumps every Nth
     // request's timing — see README "Debugging aids").
     // thread_local: each worker thread throttles its own dump stream
@@ -122,12 +146,12 @@ HostTexturePath::process(const TexRequest &req)
     if (trace_every > 0 && ++trace_count % trace_every == 0) {
         std::fprintf(stderr,
                      "req#%ld c%u issue=%llu start=%llu t0=%llu ready=%llu "
-                     "complete=%llu texels=%u lines=%zu\n",
+                     "complete=%llu texels=%u lines=%u\n",
                      trace_count, req.clusterId,
                      (unsigned long long)req.issue,
                      (unsigned long long)start, (unsigned long long)t0,
                      (unsigned long long)data_ready,
-                     (unsigned long long)complete, texels, lines_.size());
+                     (unsigned long long)complete, texels, rec.blockCount);
     }
     stats_.average("lat_total").sample(double(complete - req.issue));
     stats_.average("lat_unit_wait").sample(double(start - req.issue));
@@ -136,7 +160,7 @@ HostTexturePath::process(const TexRequest &req)
                           start, complete - start);
     recordRequest(req.wanted ? req.wanted : req.issue, complete);
 
-    return {scratch_.color, complete};
+    return {rec.color, complete};
 }
 
 void

@@ -25,7 +25,10 @@ class HostTexturePath : public TexturePath
   public:
     HostTexturePath(const GpuParams &params, MemorySystem &mem);
 
-    TexResponse process(const TexRequest &req) override;
+    void sample(const TexRequest &req, ReplayStream &stream,
+                SamplerScratch &scratch) const override;
+    TexResponse replay(const TexRequest &req, const ReplayStream &stream,
+                       u32 idx) override;
 
     /** Frame boundary: rewind pipeline timing, keep cache contents. */
     void beginFrame() override;
@@ -42,8 +45,6 @@ class HostTexturePath : public TexturePath
     TagCache l2_;
     OutstandingMisses outstanding_;
     std::vector<Cycle> unit_free_; //!< per-cluster texture-unit pipeline
-    SampleResult scratch_;         //!< reused sampling buffers
-    std::vector<Addr> lines_;      //!< reused distinct-line buffer
 };
 
 } // namespace texpim

@@ -1,5 +1,7 @@
 #include "gpu/params.hh"
 
+#include <cstdlib>
+
 namespace texpim {
 
 GpuParams
@@ -39,6 +41,11 @@ GpuParams::fromConfig(const Config &cfg)
         unsigned(cfg.getInt("gpu.setup_cycles", p.triangleSetupCycles));
     p.deterministicSchedule =
         cfg.getBool("gpu.deterministic_schedule", p.deterministicSchedule);
+    i64 threads_default = i64(p.renderThreads);
+    if (const char *env = std::getenv("TEXPIM_RENDER_THREADS"))
+        threads_default = std::atol(env);
+    p.renderThreads =
+        unsigned(cfg.getInt("gpu.render_threads", threads_default));
     return p;
 }
 

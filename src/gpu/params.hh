@@ -72,6 +72,19 @@ struct GpuParams
      */
     bool deterministicSchedule = false;
 
+    /**
+     * Worker threads for the two-phase renderer's functional phase.
+     * 0 runs the pre-split fused loop (functional and timing work
+     * interleaved in one serial pass); 1 runs record/replay serially;
+     * N > 1 rasterizes tiles on N workers before the serial timing
+     * replay. Every value produces bit-identical framebuffers, cycle
+     * counts and statistics — the knob only trades host wall clock.
+     * Config key `gpu.render_threads`; the TEXPIM_RENDER_THREADS
+     * environment variable overrides the built-in default when the
+     * config key is absent.
+     */
+    unsigned renderThreads = 1;
+
     static GpuParams fromConfig(const Config &cfg);
 };
 

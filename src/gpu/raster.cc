@@ -50,7 +50,29 @@ setupTriangle(const ClipTriangle &tri, unsigned width, unsigned height,
     out.minY = std::max(0, int(std::floor(min_y)));
     out.maxX = std::min(int(width) - 1, int(std::ceil(max_x)));
     out.maxY = std::min(int(height) - 1, int(std::ceil(max_y)));
-    return out.minX <= out.maxX && out.minY <= out.maxY;
+    if (out.minX > out.maxX || out.minY > out.maxY)
+        return false;
+
+    // Hoisted per-triangle constants (the same expressions evalPixel
+    // evaluated per pixel before they moved here; -ffp-contract=off
+    // keeps the results bit-identical wherever they are computed).
+    float inv_area = 1.0f / out.area2;
+    out.invArea = inv_area;
+    out.db0dx = (out.s[1].y - out.s[2].y) * inv_area;
+    out.db1dx = (out.s[2].y - out.s[0].y) * inv_area;
+    out.db2dx = (out.s[0].y - out.s[1].y) * inv_area;
+    out.db0dy = (out.s[2].x - out.s[1].x) * inv_area;
+    out.db1dy = (out.s[0].x - out.s[2].x) * inv_area;
+    out.db2dy = (out.s[1].x - out.s[0].x) * inv_area;
+    out.dUdx = out.uvOverW[0] * out.db0dx + out.uvOverW[1] * out.db1dx +
+               out.uvOverW[2] * out.db2dx;
+    out.dUdy = out.uvOverW[0] * out.db0dy + out.uvOverW[1] * out.db1dy +
+               out.uvOverW[2] * out.db2dy;
+    out.dWdx = out.invW[0] * out.db0dx + out.invW[1] * out.db1dx +
+               out.invW[2] * out.db2dx;
+    out.dWdy = out.invW[0] * out.db0dy + out.invW[1] * out.db1dy +
+               out.invW[2] * out.db2dy;
+    return true;
 }
 
 bool
@@ -59,7 +81,7 @@ evalPixel(const SetupTriangle &t, unsigned x, unsigned y, Vec3 eye,
 {
     Vec2 p{float(x) + 0.5f, float(y) + 0.5f};
 
-    float inv_area = 1.0f / t.area2;
+    float inv_area = t.invArea;
     float b0 = cross2(t.s[1] - p, t.s[2] - p) * inv_area;
     float b1 = cross2(t.s[2] - p, t.s[0] - p) * inv_area;
     float b2 = cross2(t.s[0] - p, t.s[1] - p) * inv_area;
@@ -84,25 +106,11 @@ evalPixel(const SetupTriangle &t, unsigned x, unsigned y, Vec3 eye,
               t.worldOverW[2] * b2;
     frag.world = wp * w;
 
-    // Barycentric screen gradients are constant per triangle:
-    //   b0(x, y) = ((s1.y - s2.y) x + (s2.x - s1.x) y + c) / area2
-    float db0dx = (t.s[1].y - t.s[2].y) * inv_area;
-    float db1dx = (t.s[2].y - t.s[0].y) * inv_area;
-    float db2dx = (t.s[0].y - t.s[1].y) * inv_area;
-    float db0dy = (t.s[2].x - t.s[1].x) * inv_area;
-    float db1dy = (t.s[0].x - t.s[2].x) * inv_area;
-    float db2dy = (t.s[1].x - t.s[0].x) * inv_area;
-
-    Vec2 dUdx = t.uvOverW[0] * db0dx + t.uvOverW[1] * db1dx +
-                t.uvOverW[2] * db2dx;
-    Vec2 dUdy = t.uvOverW[0] * db0dy + t.uvOverW[1] * db1dy +
-                t.uvOverW[2] * db2dy;
-    float dWdx = t.invW[0] * db0dx + t.invW[1] * db1dx + t.invW[2] * db2dx;
-    float dWdy = t.invW[0] * db0dy + t.invW[1] * db1dy + t.invW[2] * db2dy;
-
-    // d(U/W)/dx = (U'x - uv * W'x) / W, likewise for y.
-    frag.dUvDx = (dUdx - frag.uv * dWdx) * w;
-    frag.dUvDy = (dUdy - frag.uv * dWdy) * w;
+    // Barycentric screen gradients are constant per triangle and were
+    // precomputed in setupTriangle; d(U/W)/dx = (U'x - uv * W'x) / W,
+    // likewise for y.
+    frag.dUvDx = (t.dUdx - frag.uv * t.dWdx) * w;
+    frag.dUvDy = (t.dUdy - frag.uv * t.dWdy) * w;
 
     // Camera angle: angle between the view ray and the surface normal;
     // 0 = face-on, pi/2 = grazing (the anisotropic case).

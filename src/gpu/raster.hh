@@ -31,6 +31,17 @@ struct SetupTriangle
     // Pixel-aligned bounding box, clamped to the viewport.
     int minX = 0, minY = 0, maxX = -1, maxY = -1;
 
+    // Per-triangle constants hoisted out of the pixel loop. These are
+    // the exact expressions evalPixel used to evaluate per pixel —
+    // computed once at setup so the per-pixel cost is the coverage
+    // test and the perspective divide only. Barycentric screen
+    // gradients: b_i(x, y) = (edge_i . (x, y) + c_i) / area2.
+    float invArea = 0.0f;               //!< 1 / area2
+    float db0dx = 0.0f, db1dx = 0.0f, db2dx = 0.0f;
+    float db0dy = 0.0f, db1dy = 0.0f, db2dy = 0.0f;
+    Vec2 dUdx{}, dUdy{};                //!< d(uv/w) screen gradients
+    float dWdx = 0.0f, dWdy = 0.0f;     //!< d(1/w) screen gradients
+
     /** Conservative minimum NDC depth over the triangle. */
     float
     minDepth() const

@@ -1,10 +1,14 @@
 #include "gpu/renderer.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/trace_events.hh"
+#include "gpu/replay.hh"
 
 namespace texpim {
 
@@ -24,34 +28,82 @@ ropCacheParams()
 /** Simple fixed light for the N.L shading term. */
 const Vec3 kLightDir = Vec3{-0.35f, 0.85f, 0.4f}.normalized();
 
-/** Sliding window of outstanding texture requests per cluster. */
-class InflightWindow
+double
+wallSeconds()
 {
-  public:
-    explicit InflightWindow(unsigned depth) : slots_(depth, 0) {}
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
-    /** Earliest cycle a new request may issue (oldest slot free). */
-    Cycle oldest() const { return slots_[head_]; }
+} // namespace
 
-    void
-    push(Cycle complete)
-    {
-        // Texture results retire to the fragment quads in order, so
-        // the sequence of retirement times is monotone; this also
-        // keeps oldest() monotone, which the issue logic relies on.
-        last_ = std::max(last_, complete);
-        slots_[head_] = last_;
-        head_ = (head_ + 1) % slots_.size();
-    }
+/** Per-frame working state shared by the render phases. */
+struct Renderer::FrameCtx
+{
+    const Scene &scene;
+    FrameBuffer &fb;
 
-    /** Completion cycle of the latest request. */
-    Cycle last() const { return last_; }
+    std::vector<SetupTriangle> tris;
+    Cycle geomEnd = 0;
 
-  private:
-    std::vector<Cycle> slots_;
-    size_t head_ = 0;
-    Cycle last_ = 0;
+    unsigned width = 0, height = 0, tile = 0;
+    unsigned tilesX = 0, tilesY = 0;
+    Vec3 eye{};
+
+    // Texture id -> owning object's detail layer (triangles carry only
+    // the base texture id).
+    std::vector<i32> detailOf;
+    std::vector<float> detailScaleOf;
+
+    std::vector<std::vector<u32>> bins; //!< triangle ids per tile
+    std::vector<std::vector<u32>> clusterTiles;
+
+    // Timing-model state (phase 2 / fused loop only).
+    std::vector<Cycle> clusterTime;
+    std::vector<InflightWindow> windows;
+    std::vector<size_t> nextTile;
+    unsigned rrNext = 0;
+    Cycle computePerFrag = 0;
+    Cycle ropDrain = 0;
+    double angleSum = 0.0;
+    u64 anisoSum = 0;
+
+    // Phase-1 output, indexed by tile index (two-phase mode only).
+    std::vector<TileRecord> records;
+
+    FrameCtx(const Scene &s, FrameBuffer &f) : scene(s), fb(f) {}
 };
+
+namespace {
+
+/** Fragment work each tile contributes to the cluster clock. */
+struct TileWork
+{
+    Cycle aluFrontier = 0;
+    Cycle issueFrontier = 0;
+    u64 shaded = 0;
+    u64 killed = 0;
+    u64 zLineMisses = 0;
+    u64 cLineMisses = 0;
+};
+
+/** Front-to-back within the tile approximates the depth-sorted
+ *  submission real engines use, letting early Z do its job. The
+ *  triangle-index tiebreak pins the order of equal-depth triangles,
+ *  so the fragment stream does not depend on the stdlib's sort. */
+void
+sortBinFrontToBack(std::vector<u32> &bin,
+                   const std::vector<SetupTriangle> &tris)
+{
+    std::stable_sort(bin.begin(), bin.end(), [&](u32 a, u32 b) {
+        float da = tris[a].minDepth();
+        float db = tris[b].minDepth();
+        if (da != db)
+            return da < db;
+        return a < b;
+    });
+}
 
 } // namespace
 
@@ -134,78 +186,11 @@ Renderer::geometryPhase(const Scene &scene, std::vector<SetupTriangle> &tris,
     return std::max(mem_done, vertex_cycles + setup_cycles);
 }
 
-FrameStats
-Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
+template <typename TileBody>
+void
+Renderer::scheduleLoop(FrameCtx &ctx, FrameStats &fs, TileBody &&body)
 {
-    TEXPIM_ASSERT(fb.width() == scene.settings.width &&
-                      fb.height() == scene.settings.height,
-                  "framebuffer does not match scene resolution");
-
-    FrameStats fs;
-    fb.clear();
-    z_cache_.invalidateAll();
-    color_cache_.invalidateAll();
-    tex_.beginFrame();
-    mem_.beginFrame();
-
-    std::vector<SetupTriangle> tris;
-    Cycle geom_end = geometryPhase(scene, tris, fs);
-    fs.geometryCycles = geom_end;
-    // Track (tid) layout: 0..clusters-1 raster tiles, 100+ texture
-    // path, 200+ DRAM, 300+ PIM logic, 1000/1001 frame and geometry.
-    TEXPIM_TRACE_SPAN("raster", "geometry_phase", 1001, 0, geom_end);
-
-    unsigned width = scene.settings.width;
-    unsigned height = scene.settings.height;
-    unsigned tile = params_.tileSize;
-    unsigned tiles_x = (width + tile - 1) / tile;
-    unsigned tiles_y = (height + tile - 1) / tile;
-
-    // Map texture id -> owning object's detail layer (triangles carry
-    // only the base texture id).
-    std::vector<i32> detail_of(scene.textures->count(), -1);
-    std::vector<float> detail_scale_of(scene.textures->count(), 1.0f);
-    for (const auto &obj : scene.objects) {
-        if (obj.detailTextureId >= 0) {
-            detail_of[obj.textureId] = obj.detailTextureId;
-            detail_scale_of[obj.textureId] = obj.detailUvScale;
-        }
-    }
-
-    // Bin triangles to tiles by bounding box.
-    std::vector<std::vector<u32>> bins(size_t(tiles_x) * tiles_y);
-    for (u32 t = 0; t < tris.size(); ++t) {
-        const SetupTriangle &st = tris[t];
-        unsigned tx0 = unsigned(st.minX) / tile;
-        unsigned tx1 = unsigned(st.maxX) / tile;
-        unsigned ty0 = unsigned(st.minY) / tile;
-        unsigned ty1 = unsigned(st.maxY) / tile;
-        for (unsigned ty = ty0; ty <= ty1; ++ty)
-            for (unsigned tx = tx0; tx <= tx1; ++tx)
-                bins[size_t(ty) * tiles_x + tx].push_back(t);
-    }
-
-    // Per-cluster timing state.
-    std::vector<Cycle> cluster_time(params_.clusters, geom_end);
-    std::vector<InflightWindow> windows(
-        params_.clusters, InflightWindow(params_.maxInflightTexRequests));
-
-    Vec3 eye = scene.camera.eye;
-    double angle_sum = 0.0;
-    u64 aniso_sum = 0;
-    Cycle rop_drain = 0;
-
-    // Tiles are assigned round-robin; processing always advances the
-    // cluster with the smallest local clock so that memory accesses
-    // reach the shared memory system in approximately global time
-    // order (the resource-reservation model needs that).
-    std::vector<std::vector<u32>> cluster_tiles(params_.clusters);
-    for (u32 ti = 0; ti < bins.size(); ++ti) {
-        if (!bins[ti].empty())
-            cluster_tiles[ti % params_.clusters].push_back(ti);
-    }
-    std::vector<size_t> next_tile(params_.clusters, 0);
-    unsigned rr_next = 0;
+    FrameBuffer &fb = ctx.fb;
 
     while (true) {
         unsigned cluster = params_.clusters;
@@ -215,17 +200,17 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
             // time. Keeps the request stream (and A-TFIM's image)
             // invariant under timing perturbations; see GpuParams.
             for (unsigned i = 0; i < params_.clusters; ++i) {
-                unsigned c = (rr_next + i) % params_.clusters;
-                if (next_tile[c] < cluster_tiles[c].size()) {
+                unsigned c = (ctx.rrNext + i) % params_.clusters;
+                if (ctx.nextTile[c] < ctx.clusterTiles[c].size()) {
                     cluster = c;
-                    rr_next = (c + 1) % params_.clusters;
+                    ctx.rrNext = (c + 1) % params_.clusters;
                     break;
                 }
             }
         } else {
             Cycle best = kNeverCycle;
             for (unsigned c = 0; c < params_.clusters; ++c) {
-                if (next_tile[c] >= cluster_tiles[c].size())
+                if (ctx.nextTile[c] >= ctx.clusterTiles[c].size())
                     continue;
                 // The next texture request of cluster c will issue no
                 // earlier than its compute clock and no earlier than
@@ -233,7 +218,7 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
                 // horizon so memory sees accesses in near-global-time
                 // order.
                 Cycle horizon =
-                    std::max(cluster_time[c], windows[c].oldest());
+                    std::max(ctx.clusterTime[c], ctx.windows[c].oldest());
                 if (horizon < best) {
                     best = horizon;
                     cluster = c;
@@ -242,45 +227,97 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
         }
         if (cluster == params_.clusters)
             break;
-        u32 ti = cluster_tiles[cluster][next_tile[cluster]++];
-        auto &bin = bins[ti];
+        u32 ti = ctx.clusterTiles[cluster][ctx.nextTile[cluster]++];
         ++fs.tilesProcessed;
-        Cycle tile_start = cluster_time[cluster];
+        Cycle tile_start = ctx.clusterTime[cluster];
 
-        unsigned tx = ti % tiles_x;
-        unsigned ty = ti / tiles_x;
-        unsigned x0 = tx * tile;
-        unsigned y0 = ty * tile;
-        unsigned x1 = std::min(x0 + tile, width);
-        unsigned y1 = std::min(y0 + tile, height);
+        unsigned tx = ti % ctx.tilesX;
+        unsigned ty = ti / ctx.tilesX;
+        unsigned x0 = tx * ctx.tile;
+        unsigned y0 = ty * ctx.tile;
+
+        TileWork w;
+        w.aluFrontier = tile_start;
+        w.issueFrontier = tile_start;
+        Cycle last_rop = tile_start;
+
+        body(cluster, ti, tile_start, w);
+
+        // ROP traffic for this tile: Z read-modify-write on Z-cache
+        // misses, color writeback on color-cache misses. The ROP
+        // buffers these asynchronously — they consume memory bandwidth
+        // and drain by end of frame, but do not stall the next tile.
+        for (u64 i = 0; i < w.zLineMisses; ++i) {
+            Addr a = fb.depthAddr(x0, y0) + i * 64;
+            last_rop = std::max(last_rop,
+                                mem_.read(a, 64, TrafficClass::ZTest,
+                                          tile_start));
+            mem_.write(a, 64, TrafficClass::ZTest, tile_start);
+        }
+        for (u64 i = 0; i < w.cLineMisses; ++i) {
+            Addr a = fb.colorAddr(x0, y0) + i * 64;
+            last_rop = std::max(last_rop,
+                                mem_.write(a, 64, TrafficClass::ColorBuffer,
+                                           tile_start));
+        }
+        ctx.ropDrain = std::max(ctx.ropDrain, last_rop);
+
+        // Early-Z-killed fragments still occupy the pipeline briefly.
+        Cycle kill_cycles =
+            (w.killed + params_.shadersPerCluster - 1) /
+            params_.shadersPerCluster;
+
+        fs.fragmentsShaded += w.shaded;
+        fs.fragmentsEarlyZKilled += w.killed;
+
+        // The in-flight texture window carries across tiles (multiple
+        // tiles of fragments are resident per cluster). The cluster
+        // clock advances to the later of its compute frontier and its
+        // texture-issue horizon, which keeps every memory stream
+        // (texture, ROP, geometry) on one coherent timeline; the frame
+        // drains outstanding responses and ROP writebacks at the end.
+        ctx.clusterTime[cluster] =
+            std::max(w.aluFrontier + kill_cycles, w.issueFrontier);
+
+        stats_.histogram("tile_cycles", 0.0, 65536.0, 64)
+            .sample(double(ctx.clusterTime[cluster] - tile_start));
+        TEXPIM_TRACE_SPAN("raster", "tile", cluster, tile_start,
+                          ctx.clusterTime[cluster]);
+        TEXPIM_TRACE_COUNTER("raster", "fragments_shaded",
+                             ctx.clusterTime[cluster],
+                             double(fs.fragmentsShaded));
+    }
+}
+
+void
+Renderer::fusedLoop(FrameCtx &ctx, FrameStats &fs)
+{
+    const Scene &scene = ctx.scene;
+    FrameBuffer &fb = ctx.fb;
+    Vec3 eye = ctx.eye;
+
+    scheduleLoop(ctx, fs, [&](unsigned cluster, u32 ti, Cycle tile_start,
+                              TileWork &w) {
+        (void)tile_start;
+        auto &bin = ctx.bins[ti];
+
+        unsigned tx = ti % ctx.tilesX;
+        unsigned ty = ti / ctx.tilesX;
+        unsigned x0 = tx * ctx.tile;
+        unsigned y0 = ty * ctx.tile;
+        unsigned x1 = std::min(x0 + ctx.tile, ctx.width);
+        unsigned y1 = std::min(y0 + ctx.tile, ctx.height);
         unsigned tile_pixels = (x1 - x0) * (y1 - y0);
 
-        // Front-to-back within the tile approximates the depth-sorted
-        // submission real engines use, letting early Z do its job.
-        std::sort(bin.begin(), bin.end(), [&](u32 a, u32 b) {
-            return tris[a].minDepth() < tris[b].minDepth();
-        });
+        sortBinFrontToBack(bin, ctx.tris);
 
         unsigned covered_count = 0;
         float tile_zmax = -1.0f;
         std::vector<bool> covered(tile_pixels, false);
 
-        u64 shaded = 0, killed = 0;
-        u64 z_line_misses = 0, c_line_misses = 0;
-        Cycle alu_frontier = tile_start;
-        Cycle issue_frontier = tile_start;
-        // Per-fragment cluster occupancy: the fixed-function fragment
-        // pipeline (interpolation, shader issue, ROP slot) plus the
-        // shader ALU work spread over the cluster's shaders.
-        Cycle compute_per_frag = std::max<Cycle>(
-            params_.fragmentPipelineCycles,
-            (params_.fragmentShaderCycles + params_.shadersPerCluster - 1) /
-                params_.shadersPerCluster);
-        Cycle last_rop = tile_start;
-
         FragmentSample frag;
         for (u32 t_idx : bin) {
-            const SetupTriangle &st = tris[t_idx];
+            const SetupTriangle &st = ctx.tris[t_idx];
 
             // Hierarchical Z: once the tile is fully covered, any
             // triangle strictly behind the tile's max depth is skipped.
@@ -303,15 +340,15 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
                     // Early Z (before shading), through the Z cache.
                     if (z_cache_.access(fb.depthAddr(x, y)) ==
                         CacheOutcome::Miss)
-                        ++z_line_misses;
+                        ++w.zLineMisses;
                     if (frag.depth >= fb.depth(x, y)) {
-                        ++killed;
+                        ++w.killed;
                         continue;
                     }
 
                     // Shade: one texture sample modulated by N.L.
-                    ++shaded;
-                    angle_sum += frag.cameraAngle;
+                    ++w.shaded;
+                    ctx.angleSum += frag.cameraAngle;
 
                     TexRequest req;
                     req.tex = &scene.textures->texture(st.textureId);
@@ -323,36 +360,36 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
                     req.maxAniso = scene.settings.maxAniso;
                     req.clusterId = cluster;
 
-                    alu_frontier += compute_per_frag;
-                    req.wanted = alu_frontier;
-                    req.issue =
-                        std::max(alu_frontier, windows[cluster].oldest());
-                    issue_frontier = std::max(issue_frontier, req.issue);
+                    w.aluFrontier += ctx.computePerFrag;
+                    req.wanted = w.aluFrontier;
+                    req.issue = std::max(w.aluFrontier,
+                                         ctx.windows[cluster].oldest());
+                    w.issueFrontier = std::max(w.issueFrontier, req.issue);
                     TexResponse resp = tex_.process(req);
-                    windows[cluster].push(resp.complete);
+                    ctx.windows[cluster].push(resp.complete);
 
                     LodInfo lod = computeLod(*req.tex, req.coords,
                                              req.maxAniso);
-                    aniso_sum += lod.anisoRatio;
+                    ctx.anisoSum += lod.anisoRatio;
 
                     ColorF texel = resp.color;
-                    i32 detail = detail_of[st.textureId];
+                    i32 detail = ctx.detailOf[st.textureId];
                     if (detail >= 0) {
                         // Second layer: detail/lightmap modulate, the
                         // classic 2x multiply.
-                        float s = detail_scale_of[st.textureId];
+                        float s = ctx.detailScaleOf[st.textureId];
                         TexRequest dreq = req;
                         dreq.tex = &scene.textures->texture(u32(detail));
                         dreq.coords.uv = frag.uv * s;
                         dreq.coords.ddx = frag.dUvDx * s;
                         dreq.coords.ddy = frag.dUvDy * s;
-                        dreq.wanted = alu_frontier;
-                        dreq.issue = std::max(alu_frontier,
-                                              windows[cluster].oldest());
-                        issue_frontier =
-                            std::max(issue_frontier, dreq.issue);
+                        dreq.wanted = w.aluFrontier;
+                        dreq.issue = std::max(w.aluFrontier,
+                                              ctx.windows[cluster].oldest());
+                        w.issueFrontier =
+                            std::max(w.issueFrontier, dreq.issue);
                         TexResponse dresp = tex_.process(dreq);
-                        windows[cluster].push(dresp.complete);
+                        ctx.windows[cluster].push(dresp.complete);
                         texel = (texel * dresp.color * 2.0f).clamped();
                     }
 
@@ -362,7 +399,7 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
 
                     if (color_cache_.access(fb.colorAddr(x, y)) ==
                         CacheOutcome::Miss)
-                        ++c_line_misses;
+                        ++w.cLineMisses;
 
                     unsigned local =
                         (y - y0) * (x1 - x0) + (x - x0);
@@ -381,66 +418,331 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
                         tile_zmax = std::max(tile_zmax, fb.depth(x, y));
             }
         }
+    });
+}
 
-        // ROP traffic for this tile: Z read-modify-write on Z-cache
-        // misses, color writeback on color-cache misses. The ROP
-        // buffers these asynchronously — they consume memory bandwidth
-        // and drain by end of frame, but do not stall the next tile.
-        for (u64 i = 0; i < z_line_misses; ++i) {
-            Addr a = fb.depthAddr(x0, y0) + i * 64;
-            last_rop = std::max(last_rop,
-                                mem_.read(a, 64, TrafficClass::ZTest,
-                                          tile_start));
-            mem_.write(a, 64, TrafficClass::ZTest, tile_start);
+void
+Renderer::rasterizeTile(FrameCtx &ctx, u32 ti, SamplerScratch &scratch)
+{
+    const Scene &scene = ctx.scene;
+    FrameBuffer &fb = ctx.fb;
+    TileRecord &rec = ctx.records[ti];
+    auto &bin = ctx.bins[ti];
+    // Same assignment binTilesToClusters used, so the recorded stream
+    // matches the cluster that replays it.
+    unsigned cluster = ti % params_.clusters;
+
+    unsigned tx = ti % ctx.tilesX;
+    unsigned ty = ti / ctx.tilesX;
+    unsigned x0 = tx * ctx.tile;
+    unsigned y0 = ty * ctx.tile;
+    unsigned x1 = std::min(x0 + ctx.tile, ctx.width);
+    unsigned y1 = std::min(y0 + ctx.tile, ctx.height);
+    unsigned tile_pixels = (x1 - x0) * (y1 - y0);
+
+    sortBinFrontToBack(bin, ctx.tris);
+
+    // One covered fragment (and usually one texture request) per pixel
+    // is the common case; reserving that floor avoids most of the
+    // doubling-growth copies while recording.
+    rec.frags.reserve(tile_pixels);
+    rec.stream.samples.reserve(tile_pixels);
+
+    unsigned covered_count = 0;
+    float tile_zmax = -1.0f;
+    std::vector<bool> covered(tile_pixels, false);
+
+    FragmentSample frag;
+    for (u32 t_idx : bin) {
+        const SetupTriangle &st = ctx.tris[t_idx];
+
+        if (covered_count == tile_pixels && st.minDepth() > tile_zmax) {
+            ++rec.hierZSkipped;
+            continue;
         }
-        for (u64 i = 0; i < c_line_misses; ++i) {
-            Addr a = fb.colorAddr(x0, y0) + i * 64;
-            last_rop = std::max(last_rop,
-                                mem_.write(a, 64, TrafficClass::ColorBuffer,
-                                           tile_start));
+
+        unsigned px0 = std::max(int(x0), st.minX);
+        unsigned px1 = std::min(int(x1) - 1, st.maxX);
+        unsigned py0 = std::max(int(y0), st.minY);
+        unsigned py1 = std::min(int(y1) - 1, st.maxY);
+
+        for (unsigned y = py0; y <= py1; ++y) {
+            for (unsigned x = px0; x <= px1; ++x) {
+                if (!evalPixel(st, x, y, ctx.eye, kLightDir, frag))
+                    continue;
+
+                FragRecord fr;
+                fr.x = u16(x);
+                fr.y = u16(y);
+
+                // Tile-local early Z: tiles are disjoint framebuffer
+                // regions, so this is the exact test the fused loop
+                // performs (phase 2 replays only the Z-cache traffic).
+                if (frag.depth >= fb.depth(x, y)) {
+                    rec.frags.push_back(fr);
+                    continue;
+                }
+
+                fr.flags = FragRecord::kShaded;
+                fr.angle = frag.cameraAngle;
+                fr.diffuse = frag.diffuse;
+                fr.sample = u32(rec.stream.samples.size());
+
+                TexRequest req;
+                req.tex = &scene.textures->texture(st.textureId);
+                req.coords.uv = frag.uv;
+                req.coords.ddx = frag.dUvDx;
+                req.coords.ddy = frag.dUvDy;
+                req.coords.cameraAngle = frag.cameraAngle;
+                req.mode = scene.settings.filterMode;
+                req.maxAniso = scene.settings.maxAniso;
+                req.clusterId = cluster;
+                tex_.sample(req, rec.stream, scratch);
+
+                // The renderer's own LOD probe (aniso-ratio telemetry;
+                // can differ from the sampler's for Nearest mode).
+                LodInfo lod = computeLod(*req.tex, req.coords, req.maxAniso);
+                fr.lodAniso = u8(lod.anisoRatio);
+
+                i32 detail = ctx.detailOf[st.textureId];
+                if (detail >= 0) {
+                    float s = ctx.detailScaleOf[st.textureId];
+                    fr.flags |= FragRecord::kHasDetail;
+                    TexRequest dreq = req;
+                    dreq.tex = &scene.textures->texture(u32(detail));
+                    dreq.coords.uv = frag.uv * s;
+                    dreq.coords.ddx = frag.dUvDx * s;
+                    dreq.coords.ddy = frag.dUvDy * s;
+                    tex_.sample(dreq, rec.stream, scratch);
+                }
+
+                fb.setDepth(x, y, frag.depth);
+                rec.frags.push_back(fr);
+
+                unsigned local = (y - y0) * (x1 - x0) + (x - x0);
+                if (!covered[local]) {
+                    covered[local] = true;
+                    ++covered_count;
+                }
+            }
         }
-        rop_drain = std::max(rop_drain, last_rop);
 
-        // Early-Z-killed fragments still occupy the pipeline briefly.
-        Cycle kill_cycles =
-            (killed + params_.shadersPerCluster - 1) /
-            params_.shadersPerCluster;
+        if (covered_count == tile_pixels) {
+            tile_zmax = -1.0f;
+            for (unsigned y = y0; y < y1; ++y)
+                for (unsigned x = x0; x < x1; ++x)
+                    tile_zmax = std::max(tile_zmax, fb.depth(x, y));
+        }
+    }
+}
 
-        fs.fragmentsShaded += shaded;
-        fs.fragmentsEarlyZKilled += killed;
+void
+Renderer::recordPhase(FrameCtx &ctx)
+{
+    ctx.records.assign(ctx.bins.size(), TileRecord{});
 
-        // The in-flight texture window carries across tiles (multiple
-        // tiles of fragments are resident per cluster). The cluster
-        // clock advances to the later of its compute frontier and its
-        // texture-issue horizon, which keeps every memory stream
-        // (texture, ROP, geometry) on one coherent timeline; the frame
-        // drains outstanding responses and ROP writebacks at the end.
-        cluster_time[cluster] =
-            std::max(alu_frontier + kill_cycles, issue_frontier);
+    // Flat work list of non-empty tiles; workers pull with an atomic
+    // cursor. Tiles are disjoint framebuffer regions and every record
+    // is tile-private, so phase 1 shares no mutable state between
+    // workers (the texture paths' sample() is const and pure).
+    std::vector<u32> work;
+    for (u32 ti = 0; ti < ctx.bins.size(); ++ti)
+        if (!ctx.bins[ti].empty())
+            work.push_back(ti);
 
-        stats_.histogram("tile_cycles", 0.0, 65536.0, 64)
-            .sample(double(cluster_time[cluster] - tile_start));
-        TEXPIM_TRACE_SPAN("raster", "tile", cluster, tile_start,
-                          cluster_time[cluster]);
-        TEXPIM_TRACE_COUNTER("raster", "fragments_shaded",
-                             cluster_time[cluster],
-                             double(fs.fragmentsShaded));
+    unsigned threads = std::max(1u, params_.renderThreads);
+    threads = std::min<unsigned>(threads, std::max<size_t>(1, work.size()));
+
+    if (threads == 1) {
+        SamplerScratch scratch;
+        for (u32 ti : work)
+            rasterizeTile(ctx, ti, scratch);
+        return;
     }
 
-    Cycle end_compute = geom_end;
+    std::atomic<size_t> cursor{0};
+    auto drain = [&]() {
+        SamplerScratch scratch;
+        for (;;) {
+            size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= work.size())
+                break;
+            rasterizeTile(ctx, work[i], scratch);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned t = 1; t < threads; ++t)
+        pool.emplace_back(drain);
+    drain();
+    for (auto &th : pool)
+        th.join();
+}
+
+void
+Renderer::replayPhase(FrameCtx &ctx, FrameStats &fs)
+{
+    FrameBuffer &fb = ctx.fb;
+
+    scheduleLoop(ctx, fs, [&](unsigned cluster, u32 ti, Cycle tile_start,
+                              TileWork &w) {
+        (void)tile_start;
+        const TileRecord &rec = ctx.records[ti];
+        fs.hierZTrianglesSkipped += rec.hierZSkipped;
+
+        for (const FragRecord &fr : rec.frags) {
+            ++fs.fragmentsCovered;
+
+            if (z_cache_.access(fb.depthAddr(fr.x, fr.y)) ==
+                CacheOutcome::Miss)
+                ++w.zLineMisses;
+            if (!(fr.flags & FragRecord::kShaded)) {
+                ++w.killed;
+                continue;
+            }
+
+            ++w.shaded;
+            ctx.angleSum += fr.angle;
+
+            // Timing context only: the functional work is in the
+            // record, so replay() never dereferences req.tex.
+            TexRequest req;
+            req.coords.cameraAngle = fr.angle;
+            req.clusterId = cluster;
+
+            w.aluFrontier += ctx.computePerFrag;
+            req.wanted = w.aluFrontier;
+            req.issue =
+                std::max(w.aluFrontier, ctx.windows[cluster].oldest());
+            w.issueFrontier = std::max(w.issueFrontier, req.issue);
+            TexResponse resp = tex_.replay(req, rec.stream, fr.sample);
+            ctx.windows[cluster].push(resp.complete);
+
+            ctx.anisoSum += fr.lodAniso;
+
+            ColorF texel = resp.color;
+            if (fr.flags & FragRecord::kHasDetail) {
+                TexRequest dreq = req;
+                dreq.wanted = w.aluFrontier;
+                dreq.issue =
+                    std::max(w.aluFrontier, ctx.windows[cluster].oldest());
+                w.issueFrontier = std::max(w.issueFrontier, dreq.issue);
+                TexResponse dresp =
+                    tex_.replay(dreq, rec.stream, fr.sample + 1);
+                ctx.windows[cluster].push(dresp.complete);
+                texel = (texel * dresp.color * 2.0f).clamped();
+            }
+
+            ColorF out = (texel * fr.diffuse).clamped();
+            fb.setPixel(fr.x, fr.y, packColor(out));
+
+            if (color_cache_.access(fb.colorAddr(fr.x, fr.y)) ==
+                CacheOutcome::Miss)
+                ++w.cLineMisses;
+        }
+    });
+}
+
+FrameStats
+Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
+{
+    TEXPIM_ASSERT(fb.width() == scene.settings.width &&
+                      fb.height() == scene.settings.height,
+                  "framebuffer does not match scene resolution");
+
+    FrameStats fs;
+    fb.clear();
+    z_cache_.invalidateAll();
+    color_cache_.invalidateAll();
+    tex_.beginFrame();
+    mem_.beginFrame();
+
+    FrameCtx ctx(scene, fb);
+    ctx.geomEnd = geometryPhase(scene, ctx.tris, fs);
+    fs.geometryCycles = ctx.geomEnd;
+    // Track (tid) layout: 0..clusters-1 raster tiles, 100+ texture
+    // path, 200+ DRAM, 300+ PIM logic, 1000/1001 frame and geometry.
+    TEXPIM_TRACE_SPAN("raster", "geometry_phase", 1001, 0, ctx.geomEnd);
+
+    ctx.width = scene.settings.width;
+    ctx.height = scene.settings.height;
+    ctx.tile = params_.tileSize;
+    ctx.tilesX = (ctx.width + ctx.tile - 1) / ctx.tile;
+    ctx.tilesY = (ctx.height + ctx.tile - 1) / ctx.tile;
+    ctx.eye = scene.camera.eye;
+
+    ctx.detailOf.assign(scene.textures->count(), -1);
+    ctx.detailScaleOf.assign(scene.textures->count(), 1.0f);
+    for (const auto &obj : scene.objects) {
+        if (obj.detailTextureId >= 0) {
+            ctx.detailOf[obj.textureId] = obj.detailTextureId;
+            ctx.detailScaleOf[obj.textureId] = obj.detailUvScale;
+        }
+    }
+
+    // Bin triangles to tiles by bounding box.
+    ctx.bins.assign(size_t(ctx.tilesX) * ctx.tilesY, {});
+    for (u32 t = 0; t < ctx.tris.size(); ++t) {
+        const SetupTriangle &st = ctx.tris[t];
+        unsigned tx0 = unsigned(st.minX) / ctx.tile;
+        unsigned tx1 = unsigned(st.maxX) / ctx.tile;
+        unsigned ty0 = unsigned(st.minY) / ctx.tile;
+        unsigned ty1 = unsigned(st.maxY) / ctx.tile;
+        for (unsigned ty = ty0; ty <= ty1; ++ty)
+            for (unsigned tx = tx0; tx <= tx1; ++tx)
+                ctx.bins[size_t(ty) * ctx.tilesX + tx].push_back(t);
+    }
+
+    // Tiles are assigned round-robin; processing always advances the
+    // cluster with the smallest local clock so that memory accesses
+    // reach the shared memory system in approximately global time
+    // order (the resource-reservation model needs that).
+    ctx.clusterTiles.assign(params_.clusters, {});
+    for (u32 ti = 0; ti < ctx.bins.size(); ++ti) {
+        if (!ctx.bins[ti].empty())
+            ctx.clusterTiles[ti % params_.clusters].push_back(ti);
+    }
+    ctx.clusterTime.assign(params_.clusters, ctx.geomEnd);
+    ctx.windows.assign(params_.clusters,
+                       InflightWindow(params_.maxInflightTexRequests));
+    ctx.nextTile.assign(params_.clusters, 0);
+
+    // Per-fragment cluster occupancy: the fixed-function fragment
+    // pipeline (interpolation, shader issue, ROP slot) plus the shader
+    // ALU work spread over the cluster's shaders.
+    ctx.computePerFrag = std::max<Cycle>(
+        params_.fragmentPipelineCycles,
+        (params_.fragmentShaderCycles + params_.shadersPerCluster - 1) /
+            params_.shadersPerCluster);
+
+    if (params_.renderThreads == 0) {
+        fusedLoop(ctx, fs);
+    } else {
+        double t0 = wallSeconds();
+        recordPhase(ctx);
+        double t1 = wallSeconds();
+        replayPhase(ctx, fs);
+        fs.wallPhase2Sec = wallSeconds() - t1;
+        fs.wallPhase1Sec = t1 - t0;
+        for (const TileRecord &rec : ctx.records)
+            fs.recordBytes += rec.footprintBytes();
+    }
+
+    Cycle end_compute = ctx.geomEnd;
     Cycle end_windows = 0;
     for (unsigned c = 0; c < params_.clusters; ++c) {
-        end_compute = std::max(end_compute, cluster_time[c]);
-        end_windows = std::max(end_windows, windows[c].last());
+        end_compute = std::max(end_compute, ctx.clusterTime[c]);
+        end_windows = std::max(end_windows, ctx.windows[c].last());
     }
-    Cycle frame_end = std::max({end_compute, end_windows, rop_drain});
+    Cycle frame_end = std::max({end_compute, end_windows, ctx.ropDrain});
     stats_.counter("end_compute") += end_compute;
     stats_.counter("end_windows") += end_windows;
-    stats_.counter("end_rop") += rop_drain;
+    stats_.counter("end_rop") += ctx.ropDrain;
 
     // Display scanout of the finished frame (frame-buffer read traffic;
     // happens off the critical path of rendering the next frame).
-    u64 fb_bytes = u64(width) * height * 4;
+    u64 fb_bytes = u64(ctx.width) * ctx.height * 4;
     for (u64 off = 0; off < fb_bytes; off += 4096) {
         u64 chunk = std::min<u64>(4096, fb_bytes - off);
         mem_.read(FrameBuffer::kColorBase + off, chunk,
@@ -451,9 +753,9 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
     fs.texRequests = tex_.requests();
     fs.texLatencySum = tex_.latencySum();
     fs.avgCameraAngleRad =
-        fs.fragmentsShaded ? angle_sum / double(fs.fragmentsShaded) : 0.0;
-    fs.avgAnisoRatio =
-        fs.fragmentsShaded ? double(aniso_sum) / double(fs.fragmentsShaded)
+        fs.fragmentsShaded ? ctx.angleSum / double(fs.fragmentsShaded) : 0.0;
+    fs.avgAnisoRatio = fs.fragmentsShaded
+                           ? double(ctx.anisoSum) / double(fs.fragmentsShaded)
                            : 0.0;
 
     stats_.counter("frames") += 1;

@@ -16,6 +16,7 @@
 #ifndef TEXPIM_GPU_RENDERER_HH
 #define TEXPIM_GPU_RENDERER_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "cache/tag_cache.hh"
@@ -49,6 +50,13 @@ struct FrameStats
 
     double avgCameraAngleRad = 0.0;
     double avgAnisoRatio = 0.0;
+
+    // Host wall clock of the simulator itself (for bench/perf_render).
+    // Not simulated results: never exported by writeSimResultJson, and
+    // zero when the fused (render_threads = 0) loop runs.
+    double wallPhase1Sec = 0.0; //!< functional raster phase
+    double wallPhase2Sec = 0.0; //!< timing replay phase
+    u64 recordBytes = 0;        //!< peak replay-record heap footprint
 };
 
 class Renderer
@@ -61,16 +69,81 @@ class Renderer
      */
     Renderer(const GpuParams &params, MemorySystem &mem, TexturePath &tex);
 
-    /** Render one frame functionally and temporally. */
+    /**
+     * Render one frame functionally and temporally.
+     *
+     * With `params.renderThreads == 0` the original fused loop runs:
+     * one serial pass interleaving rasterization, texture filtering
+     * and the timing model. Any other value selects the two-phase
+     * pipeline — phase 1 rasterizes tiles (on that many worker
+     * threads) recording per-tile replay streams, phase 2 replays
+     * them serially through the timing model in the exact fused
+     * order. Both paths produce bit-identical framebuffers, cycle
+     * counts and statistics.
+     */
     FrameStats renderFrame(const Scene &scene, FrameBuffer &fb);
 
     StatGroup &stats() { return stats_; }
 
   private:
+    /** Sliding window of outstanding texture requests per cluster. */
+    class InflightWindow
+    {
+      public:
+        explicit InflightWindow(unsigned depth) : slots_(depth, 0) {}
+
+        /** Earliest cycle a new request may issue (oldest slot free). */
+        Cycle oldest() const { return slots_[head_]; }
+
+        void
+        push(Cycle complete)
+        {
+            // Texture results retire to the fragment quads in order,
+            // so the sequence of retirement times is monotone; this
+            // also keeps oldest() monotone, which the issue logic
+            // relies on.
+            last_ = std::max(last_, complete);
+            slots_[head_] = last_;
+            head_ = (head_ + 1) % slots_.size();
+        }
+
+        /** Completion cycle of the latest request. */
+        Cycle last() const { return last_; }
+
+      private:
+        std::vector<Cycle> slots_;
+        size_t head_ = 0;
+        Cycle last_ = 0;
+    };
+
+    struct FrameCtx; // per-frame working state, defined in renderer.cc
+
     /** Geometry phase: traffic + vertex shading + clip. Returns the
      *  cycle the phase drains and fills `tris`. */
     Cycle geometryPhase(const Scene &scene,
                         std::vector<SetupTriangle> &tris, FrameStats &fs);
+
+    /** Phase 1, one tile: rasterize, tile-local early Z, functional
+     *  texture sampling; fills ctx.records[ti]. Thread-safe across
+     *  distinct tiles (touches only tile-disjoint state). */
+    void rasterizeTile(FrameCtx &ctx, u32 ti, SamplerScratch &scratch);
+
+    /** Phase 1 driver: rasterize every non-empty tile, on
+     *  params_.renderThreads workers when > 1. */
+    void recordPhase(FrameCtx &ctx);
+
+    /** Phase 2: replay the records through the timing model in the
+     *  exact order the fused loop would process them. */
+    void replayPhase(FrameCtx &ctx, FrameStats &fs);
+
+    /** The pre-split fused functional+timing loop (renderThreads=0). */
+    void fusedLoop(FrameCtx &ctx, FrameStats &fs);
+
+    /** The cluster scheduler shared by fusedLoop and replayPhase:
+     *  picks tiles, runs `body` for the fragment work, then settles
+     *  ROP traffic and the cluster clock. */
+    template <typename TileBody>
+    void scheduleLoop(FrameCtx &ctx, FrameStats &fs, TileBody &&body);
 
     GpuParams params_;
     MemorySystem &mem_;

@@ -1,0 +1,21 @@
+#include "gpu/replay.hh"
+
+namespace texpim {
+
+u64
+ReplayStream::footprintBytes() const
+{
+    return u64(samples.capacity()) * sizeof(TexSampleRec) +
+           u64(blocks.capacity()) * sizeof(Addr) +
+           u64(parents.capacity()) * sizeof(ParentRec) +
+           u64(childBlocks.capacity()) * sizeof(Addr);
+}
+
+u64
+TileRecord::footprintBytes() const
+{
+    return u64(frags.capacity()) * sizeof(FragRecord) +
+           stream.footprintBytes();
+}
+
+} // namespace texpim

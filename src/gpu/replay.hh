@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Record/replay types for the two-phase renderer.
+ *
+ * Phase 1 (functional, parallel) rasterizes every tile independently:
+ * coverage, tile-local early Z, shading terms, and the *functional*
+ * half of texture filtering run on a worker pool, and everything the
+ * timing model will need is captured in per-tile records — per-
+ * fragment shading terms plus, per texture request, the texel-fetch
+ * stream (deduplicated cache lines / DRAM blocks), the A-TFIM parent
+ * decomposition, and the functional filter color.
+ *
+ * Phase 2 (timing, serial) replays the records through the cluster
+ * clocks, in-flight windows, caches, memory system and PIM paths in
+ * exactly the order the fused single-thread loop would have produced,
+ * so cycle counts, every statistic, and A-TFIM's state-dependent
+ * angle-reuse image are bit-identical to the legacy renderer at any
+ * worker count.
+ *
+ * The flattened layout (per-tile arrays indexed by offset/count pairs
+ * instead of per-fragment vectors) keeps phase 1 free of per-fragment
+ * heap allocation and the records compact.
+ */
+
+#ifndef TEXPIM_GPU_REPLAY_HH
+#define TEXPIM_GPU_REPLAY_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "geom/color.hh"
+
+namespace texpim {
+
+/** One recorded A-TFIM parent texel (§V): address, fresh value, and
+ *  the child-block slice it expands to in the HMC. */
+struct ParentRec
+{
+    Addr addr = 0;     //!< parent texel address (aniso disabled)
+    ColorF value{};    //!< freshly computed anisotropic average
+    u32 childKey = 0;  //!< hash of the child-texel set
+    u32 childOff = 0;  //!< first child block in ReplayStream::childBlocks
+    u32 childCount = 0;
+};
+
+/**
+ * The record of one texture request's functional sampling — everything
+ * a TexturePath::replay() needs to reproduce its timing, statistics
+ * and (for A-TFIM) its state-dependent output color without re-running
+ * the filter math.
+ */
+struct TexSampleRec
+{
+    ColorF color{};    //!< functional filter result (exact paths)
+    Addr route = 0;    //!< package routing address (first texel fetch)
+    u32 blockOff = 0;  //!< first entry in ReplayStream::blocks
+    u32 blockCount = 0;
+    u32 texels = 0;    //!< texel fetches before line/block coalescing
+    u32 filterOps = 0;
+    u32 anisoRatio = 1;
+
+    // A-TFIM decomposition (unused by the conventional paths).
+    u32 parentOff = 0; //!< first entry in ReplayStream::parents
+    u32 parentCount = 0;
+    u32 hostFilterOps = 0;
+    u8 numLevels = 1;
+    float fx[2] = {0.0f, 0.0f};
+    float fy[2] = {0.0f, 0.0f};
+    float levelWeight = 0.0f;
+
+    /** Host-side bilinear/trilinear combine of four parent values per
+     *  level (the exact expression DecomposedSampleResult::combine
+     *  evaluates, so replayed colors match the fused path bit-for-bit). */
+    ColorF
+    combine(const ColorF *parent_values) const
+    {
+        ColorF lv[2];
+        for (unsigned l = 0; l < numLevels; ++l) {
+            const ColorF *c = parent_values + l * 4;
+            lv[l] = lerp(lerp(c[0], c[1], fx[l]), lerp(c[2], c[3], fx[l]),
+                         fy[l]);
+        }
+        return numLevels == 2 ? lerp(lv[0], lv[1], levelWeight) : lv[0];
+    }
+};
+
+/** A batch of recorded texture requests with their flattened streams. */
+struct ReplayStream
+{
+    std::vector<TexSampleRec> samples;
+    std::vector<Addr> blocks;      //!< coalesced lines/blocks, per sample
+    std::vector<ParentRec> parents;    //!< A-TFIM parents, per sample
+    std::vector<Addr> childBlocks; //!< A-TFIM child blocks, per parent
+
+    void
+    clear()
+    {
+        samples.clear();
+        blocks.clear();
+        parents.clear();
+        childBlocks.clear();
+    }
+
+    /** Heap bytes the recorded arrays occupy (capacity, not size). */
+    u64 footprintBytes() const;
+};
+
+/** One covered fragment, in tile rasterization order. */
+struct FragRecord
+{
+    static constexpr u8 kShaded = 1;    //!< passed the early-Z test
+    static constexpr u8 kHasDetail = 2; //!< second (detail) tex layer
+
+    u16 x = 0, y = 0;   //!< absolute pixel coordinates
+    u8 flags = 0;
+    u8 lodAniso = 1;    //!< renderer-side computeLod anisoRatio
+    float angle = 0.0f; //!< camera angle (radians)
+    float diffuse = 1.0f;
+    u32 sample = 0;     //!< base request in ReplayStream::samples
+                        //!< (detail request, if any, is sample + 1)
+};
+
+/** Everything phase 1 recorded for one tile. */
+struct TileRecord
+{
+    std::vector<FragRecord> frags;
+    ReplayStream stream;
+    u64 hierZSkipped = 0; //!< triangles skipped by hierarchical Z
+
+    void
+    clear()
+    {
+        frags.clear();
+        stream.clear();
+        hierZSkipped = 0;
+    }
+
+    /** Heap bytes this tile's records occupy (capacity, not size). */
+    u64 footprintBytes() const;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_GPU_REPLAY_HH

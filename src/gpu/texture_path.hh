@@ -16,6 +16,7 @@
 #define TEXPIM_GPU_TEXTURE_PATH_HH
 
 #include "common/stats.hh"
+#include "gpu/replay.hh"
 #include "tex/sampler.hh"
 
 namespace texpim {
@@ -65,7 +66,38 @@ class TexturePath
     TexturePath(const TexturePath &) = delete;
     TexturePath &operator=(const TexturePath &) = delete;
 
-    virtual TexResponse process(const TexRequest &req) = 0;
+    /**
+     * Phase 1 — functional half. Filter the request mathematically and
+     * append one TexSampleRec (plus its block/parent streams) to
+     * `stream`. Pure: touches no caches, pipelines, statistics or
+     * memory-system state, so concurrent calls from phase-1 worker
+     * threads are safe (each worker owns its stream and scratch).
+     */
+    virtual void sample(const TexRequest &req, ReplayStream &stream,
+                        SamplerScratch &scratch) const = 0;
+
+    /**
+     * Phase 2 — timing half. Replay record `idx` of `stream` through
+     * the caches, pipelines and memory system, updating every
+     * statistic exactly as the fused path did. Serial only. `req`
+     * supplies the timing context (clusterId / issue / wanted) and the
+     * camera angle; `req.tex` may be null — the functional work
+     * already happened in sample().
+     */
+    virtual TexResponse replay(const TexRequest &req,
+                               const ReplayStream &stream, u32 idx) = 0;
+
+    /** Fused convenience path: sample + replay back to back. The
+     *  two-phase renderer never calls this; everything else (tests,
+     *  benches, the legacy renderer) does, which is what guarantees
+     *  the split halves compose to the original semantics. */
+    TexResponse
+    process(const TexRequest &req)
+    {
+        proc_stream_.clear();
+        sample(req, proc_stream_, proc_scratch_);
+        return replay(req, proc_stream_, 0);
+    }
 
     /** Prepare for a new frame (reset transient state, keep caches). */
     virtual void beginFrame() {}
@@ -110,6 +142,8 @@ class TexturePath
   private:
     u64 requests_ = 0;
     u64 latency_sum_ = 0;
+    ReplayStream proc_stream_;    //!< process()'s one-shot stream
+    SamplerScratch proc_scratch_; //!< process()'s sampling scratch
 };
 
 } // namespace texpim

@@ -77,8 +77,9 @@ AtfimTexturePath::hostFallbackFetch(Cycle start, u64 total_children)
     return mem_done + combine;
 }
 
-TexResponse
-AtfimTexturePath::process(const TexRequest &req)
+void
+AtfimTexturePath::sample(const TexRequest &req, ReplayStream &stream,
+                         SamplerScratch &scratch) const
 {
     TEXPIM_ASSERT(req.tex != nullptr, "texture request without texture");
     TEXPIM_ASSERT(req.clusterId < l1_.size(), "bad cluster id");
@@ -87,8 +88,56 @@ AtfimTexturePath::process(const TexRequest &req)
 
     // Functional decomposition: parent texels as if anisotropic
     // filtering were off, plus the child texels the HMC would fetch.
-    sampleDecomposed(*req.tex, req.coords, req.mode, req.maxAniso, scratch_);
-    unsigned n_parents = unsigned(scratch_.parents.size());
+    // Which parents end up reused (and with which stale values) is a
+    // property of the serial cache state, so the record carries every
+    // parent's fresh value and recombination weights; replay() settles
+    // reuse and produces the final color.
+    DecomposedSampleResult &res = scratch.decomposed;
+    sampleDecomposed(*req.tex, req.coords, req.mode, req.maxAniso, res,
+                     scratch);
+
+    TexSampleRec rec;
+    rec.color = res.color;
+    rec.anisoRatio = res.anisoRatio;
+    rec.hostFilterOps = res.hostFilterOps;
+    rec.numLevels = u8(res.numLevels);
+    rec.fx[0] = res.fx[0];
+    rec.fx[1] = res.fx[1];
+    rec.fy[0] = res.fy[0];
+    rec.fy[1] = res.fy[1];
+    rec.levelWeight = res.levelWeight;
+
+    u64 gran = atfim_.childFetchGranularityBytes;
+    rec.parentOff = u32(stream.parents.size());
+    rec.parentCount = u32(res.parents.size());
+    for (const ParentTexel &p : res.parents) {
+        ParentRec pr;
+        pr.addr = p.addr;
+        pr.value = p.value;
+        u32 key = 0;
+        for (Addr a : p.children)
+            key = key * 1000003u + u32(a ^ (a >> 17));
+        pr.childKey = key;
+        // Masked to DRAM bursts but NOT consolidated: duplicates stay
+        // so replay can apply (or skip, for the ablation) Child Texel
+        // Consolidation over exactly the missing parents' children.
+        pr.childOff = u32(stream.childBlocks.size());
+        pr.childCount = u32(p.children.size());
+        for (Addr a : p.children)
+            stream.childBlocks.push_back(a & ~(gran - 1));
+        stream.parents.push_back(pr);
+    }
+    stream.samples.push_back(rec);
+}
+
+TexResponse
+AtfimTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
+                         u32 idx)
+{
+    TEXPIM_ASSERT(req.clusterId < l1_.size(), "bad cluster id");
+    const TexSampleRec &rec = stream.samples[idx];
+
+    unsigned n_parents = rec.parentCount;
     float angle = req.coords.cameraAngle;
 
     // Host texture unit: parent address generation (pipelined, same
@@ -109,7 +158,7 @@ AtfimTexturePath::process(const TexRequest &req)
     u64 total_children = 0;
 
     for (unsigned p = 0; p < n_parents; ++p) {
-        const ParentTexel &parent = scratch_.parents[p];
+        const ParentRec &parent = stream.parents[rec.parentOff + p];
         bool reuse = false;
 
         CacheOutcome o1 =
@@ -139,7 +188,7 @@ AtfimTexturePath::process(const TexRequest &req)
                 else
                     ++stats_.counter("l2_misses");
                 miss_idx[n_miss++] = p;
-                total_children += parent.children.size();
+                total_children += parent.childCount;
 
                 // The refill replaces the whole cache line (one camera
                 // angle per line, SV-D): values the line held from the
@@ -160,9 +209,7 @@ AtfimTexturePath::process(const TexRequest &req)
         // quality-debugging: timing unchanged, values always fresh.)
         static const bool no_reuse =
             std::getenv("TEXPIM_ATFIM_NO_REUSE") != nullptr;
-        u32 child_key = 0;
-        for (Addr a : parent.children)
-            child_key = child_key * 1000003u + u32(a ^ (a >> 17));
+        u32 child_key = parent.childKey;
 
         auto it = parent_values_.find(parent.addr);
         if (reuse && !no_reuse && it != parent_values_.end()) {
@@ -187,18 +234,18 @@ AtfimTexturePath::process(const TexRequest &req)
                     std::fprintf(stderr,
                                  "mismatch addr=%llx err=%.4f stored(N=%u "
                                  "ang=%.3f key=%08x) fresh(N=%u ang=%.3f "
-                                 "key=%08x nchild=%zu)\n",
+                                 "key=%08x nchild=%u)\n",
                                  (unsigned long long)parent.addr, err,
                                  sp.aniso, sp.angle, sp.childKey,
-                                 scratch_.anisoRatio, angle, child_key,
-                                 parent.children.size());
+                                 rec.anisoRatio, angle, child_key,
+                                 parent.childCount);
                 }
             }
         } else {
             values[p] = parent.value;
             parent_values_[parent.addr] =
-                StoredParent{parent.value, child_key,
-                             u8(scratch_.anisoRatio), angle};
+                StoredParent{parent.value, child_key, u8(rec.anisoRatio),
+                             angle};
         }
     }
 
@@ -216,9 +263,12 @@ AtfimTexturePath::process(const TexRequest &req)
         // blocks.
         child_blocks_.clear();
         u64 gran = atfim_.childFetchGranularityBytes;
-        for (unsigned i = 0; i < n_miss; ++i)
-            for (Addr a : scratch_.parents[miss_idx[i]].children)
-                child_blocks_.push_back(a & ~(gran - 1));
+        for (unsigned i = 0; i < n_miss; ++i) {
+            const ParentRec &mp =
+                stream.parents[rec.parentOff + miss_idx[i]];
+            for (u32 j = 0; j < mp.childCount; ++j)
+                child_blocks_.push_back(stream.childBlocks[mp.childOff + j]);
+        }
         if (atfim_.consolidateChildren) {
             std::sort(child_blocks_.begin(), child_blocks_.end());
             child_blocks_.erase(
@@ -228,7 +278,7 @@ AtfimTexturePath::process(const TexRequest &req)
 
         // One package, one cube: parents and children share a texture
         // (§V-E), so route by the first missing parent.
-        Addr route = scratch_.parents[miss_idx[0]].addr;
+        Addr route = stream.parents[rec.parentOff + miss_idx[0]].addr;
 
         if (robust_.shouldBypass(route)) {
             // Circuit breaker: the cube's links retry too often, so
@@ -314,16 +364,16 @@ AtfimTexturePath::process(const TexRequest &req)
 
     // Host bilinear/trilinear over the (approximated) parent texels.
     Cycle host_filter = std::max<Cycle>(
-        1, (scratch_.hostFilterOps + gpu_.texUnitTexelsPerCycle - 1) /
+        1, (rec.hostFilterOps + gpu_.texUnitTexelsPerCycle - 1) /
                gpu_.texUnitTexelsPerCycle);
     Cycle complete = parents_ready + host_filter;
     unit_free_[req.clusterId] =
         start + std::max(addr_gen, host_filter);
 
-    ColorF color = scratch_.combine(values);
+    ColorF color = rec.combine(values);
 
     stats_.counter("parents") += n_parents;
-    stats_.counter("host_filter_ops") += scratch_.hostFilterOps;
+    stats_.counter("host_filter_ops") += rec.hostFilterOps;
     stats_.counter("addr_ops") += n_parents;
     recordRequest(req.wanted ? req.wanted : req.issue, complete);
 

@@ -73,7 +73,10 @@ class AtfimTexturePath : public TexturePath
                      const PimPacketParams &pkts, HmcMemory &hmc,
                      const RobustnessParams &robustness = {});
 
-    TexResponse process(const TexRequest &req) override;
+    void sample(const TexRequest &req, ReplayStream &stream,
+                SamplerScratch &scratch) const override;
+    TexResponse replay(const TexRequest &req, const ReplayStream &stream,
+                       u32 idx) override;
 
     u64 fallbacks() const override { return robust_.fallbacks(); }
 
@@ -139,8 +142,7 @@ class AtfimTexturePath : public TexturePath
     };
     std::unordered_map<Addr, StoredParent> parent_values_;
 
-    DecomposedSampleResult scratch_;
-    std::vector<Addr> child_blocks_;
+    std::vector<Addr> child_blocks_; //!< replay-side consolidation buffer
 };
 
 } // namespace texpim

@@ -34,7 +34,8 @@ StfimTexturePath::StfimTexturePath(const GpuParams &gpu,
 
 TexResponse
 StfimTexturePath::hostFallback(const TexRequest &req, Cycle start,
-                               unsigned texels)
+                               const ReplayStream &stream,
+                               const TexSampleRec &rec)
 {
     robust_.countFallback(start);
 
@@ -43,19 +44,20 @@ StfimTexturePath::hostFallback(const TexRequest &req, Cycle start,
     // links, then filtered on the host shader cluster's ALUs.
     u64 gran = mtu_params_.fetchGranularityBytes;
     Cycle mem_done = start;
-    for (Addr b : blocks_) {
+    for (u32 i = 0; i < rec.blockCount; ++i) {
+        Addr b = stream.blocks[rec.blockOff + i];
         mem_done = std::max(
             mem_done,
             hmc_.read(b, gran, TrafficClass::Texture, start));
     }
     Cycle filter = std::max<Cycle>(
-        1, (texels + gpu_.texUnitTexelsPerCycle - 1) /
+        1, (rec.texels + gpu_.texUnitTexelsPerCycle - 1) /
                gpu_.texUnitTexelsPerCycle);
     Cycle complete = mem_done + filter;
 
-    stats_.counter("fallback_host_blocks") += blocks_.size();
+    stats_.counter("fallback_host_blocks") += rec.blockCount;
     recordRequest(req.wanted ? req.wanted : req.issue, complete);
-    return {scratch_.color, complete};
+    return {rec.color, complete};
 }
 
 void
@@ -68,36 +70,59 @@ StfimTexturePath::beginFrame()
     }
 }
 
-TexResponse
-StfimTexturePath::process(const TexRequest &req)
+void
+StfimTexturePath::sample(const TexRequest &req, ReplayStream &stream,
+                         SamplerScratch &scratch) const
 {
     TEXPIM_ASSERT(req.tex != nullptr, "texture request without texture");
     TEXPIM_ASSERT(req.clusterId < mtus_.size(), "bad cluster id");
-    Mtu &mtu = mtus_[req.clusterId];
 
     // Functional filtering is unchanged: S-TFIM moves computation, not
     // math, so the output image is bit-identical to the baseline.
-    sampleConventional(*req.tex, req.coords, req.mode, req.maxAniso,
-                       scratch_);
-    unsigned texels = unsigned(scratch_.fetches.size());
+    SampleResult &res = scratch.conventional;
+    sampleConventional(*req.tex, req.coords, req.mode, req.maxAniso, res,
+                       scratch);
+
+    TexSampleRec rec;
+    rec.color = res.color;
+    rec.texels = unsigned(res.fetches.size());
+    rec.filterOps = res.filterOps;
+    rec.anisoRatio = res.anisoRatio;
+    // Packages route to the cube owning this request's texture (§V-E).
+    rec.route = res.fetches.empty() ? 0 : res.fetches[0].addr;
 
     // Coalesce texel fetches into DRAM bursts within this request
-    // (both the MTU and the degraded host path fetch these blocks).
-    blocks_.clear();
+    // (both the MTU and the degraded host path fetch these blocks) —
+    // in place on the stream tail.
     u64 gran = mtu_params_.fetchGranularityBytes;
-    for (const auto &f : scratch_.fetches)
-        blocks_.push_back(f.addr & ~(gran - 1));
-    std::sort(blocks_.begin(), blocks_.end());
-    blocks_.erase(std::unique(blocks_.begin(), blocks_.end()),
-                  blocks_.end());
+    rec.blockOff = u32(stream.blocks.size());
+    for (const auto &f : res.fetches)
+        stream.blocks.push_back(f.addr & ~(gran - 1));
+    auto tail = stream.blocks.begin() + rec.blockOff;
+    std::sort(tail, stream.blocks.end());
+    stream.blocks.erase(std::unique(tail, stream.blocks.end()),
+                        stream.blocks.end());
+    rec.blockCount = u32(stream.blocks.size()) - rec.blockOff;
 
-    // Packages route to the cube owning this request's texture (§V-E).
-    Addr route = scratch_.fetches.empty() ? 0 : scratch_.fetches[0].addr;
+    stream.samples.push_back(rec);
+}
+
+TexResponse
+StfimTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
+                         u32 idx)
+{
+    TEXPIM_ASSERT(req.clusterId < mtus_.size(), "bad cluster id");
+    Mtu &mtu = mtus_[req.clusterId];
+    const TexSampleRec &rec = stream.samples[idx];
+
+    unsigned texels = rec.texels;
+    u64 gran = mtu_params_.fetchGranularityBytes;
+    Addr route = rec.route;
 
     // Circuit breaker: a cube whose links are retrying too often is
     // not offered the offload at all.
     if (robust_.shouldBypass(route))
-        return hostFallback(req, req.issue, texels);
+        return hostFallback(req, req.issue, stream, rec);
 
     // 1. Request package to the HMC over the transmit link. Requests
     //    are batched per fragment quad (one package carries
@@ -120,7 +145,7 @@ StfimTexturePath::process(const TexRequest &req)
         mtu.queueSlots[mtu.head] = deadline;
         mtu.head = (mtu.head + 1) % mtu.queueSlots.size();
         stats_.counter("packages") += 1;
-        return hostFallback(req, deadline, texels);
+        return hostFallback(req, deadline, stream, rec);
     }
 
     // 2. MTU pipeline: FIFO scheduler, address generation, texel
@@ -137,7 +162,8 @@ StfimTexturePath::process(const TexRequest &req)
     Cycle t0 = start + addr_gen;
 
     Cycle mem_done = t0;
-    for (Addr b : blocks_) {
+    for (u32 i = 0; i < rec.blockCount; ++i) {
+        Addr b = stream.blocks[rec.blockOff + i];
         mem_done = std::max(
             mem_done, hmc_.internalAccess(
                           {b, gran, MemOp::Read, TrafficClass::Texture, t0}));
@@ -161,15 +187,15 @@ StfimTexturePath::process(const TexRequest &req)
     mtu.head = (mtu.head + 1) % mtu.queueSlots.size();
 
     stats_.counter("texels") += texels;
-    stats_.counter("dram_blocks") += blocks_.size();
+    stats_.counter("dram_blocks") += rec.blockCount;
     stats_.counter("packages") += 2;
     stats_.counter("addr_ops") += texels;
-    stats_.counter("filter_ops") += scratch_.filterOps;
+    stats_.counter("filter_ops") += rec.filterOps;
     TEXPIM_TRACE_COMPLETE("pim", "mtu_filter", 320 + req.clusterId, start,
                           filtered_at - start);
     recordRequest(req.wanted ? req.wanted : req.issue, complete);
 
-    return {scratch_.color, complete};
+    return {rec.color, complete};
 }
 
 } // namespace texpim

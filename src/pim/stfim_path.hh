@@ -55,7 +55,10 @@ class StfimTexturePath : public TexturePath
                      const PimPacketParams &pkts, HmcMemory &hmc,
                      const RobustnessParams &robustness = {});
 
-    TexResponse process(const TexRequest &req) override;
+    void sample(const TexRequest &req, ReplayStream &stream,
+                SamplerScratch &scratch) const override;
+    TexResponse replay(const TexRequest &req, const ReplayStream &stream,
+                       u32 idx) override;
 
     /** Frame boundary: rewind MTU queues and pipelines. */
     void beginFrame() override;
@@ -86,7 +89,8 @@ class StfimTexturePath : public TexturePath
      * path, so degradation never changes the image.
      */
     TexResponse hostFallback(const TexRequest &req, Cycle start,
-                             unsigned texels);
+                             const ReplayStream &stream,
+                             const TexSampleRec &rec);
 
     GpuParams gpu_;
     MtuParams mtu_params_;
@@ -94,8 +98,6 @@ class StfimTexturePath : public TexturePath
     HmcMemory &hmc_;
     PimRobustness robust_;
     std::vector<Mtu> mtus_; //!< one private MTU per cluster (§IV)
-    SampleResult scratch_;
-    std::vector<Addr> blocks_;
 };
 
 } // namespace texpim

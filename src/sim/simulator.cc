@@ -42,6 +42,10 @@ writeSimResultJson(JsonWriter &w, const SimResult &r)
     w.keyValue("crc_errors", r.crcErrors);
     w.keyValue("link_retries", r.linkRetries);
     w.keyValue("pim_fallbacks", r.pimFallbacks);
+    // FrameStats' host wall-clock fields (wallPhase1Sec/wallPhase2Sec/
+    // recordBytes) are intentionally absent: stats_out files must stay
+    // byte-identical across runs, hosts and gpu.render_threads
+    // settings. bench/perf_render reports them separately.
     w.endObject();
 }
 

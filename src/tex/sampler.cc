@@ -194,7 +194,8 @@ computeLod(const Texture &tex, const SampleCoords &coords, unsigned max_aniso)
 
 void
 sampleConventional(const Texture &tex, const SampleCoords &coords,
-                   FilterMode mode, unsigned max_aniso, SampleResult &out)
+                   FilterMode mode, unsigned max_aniso, SampleResult &out,
+                   SamplerScratch &scratch)
 {
     out.clear();
 
@@ -228,7 +229,8 @@ sampleConventional(const Texture &tex, const SampleCoords &coords,
     LevelGeom g0 = levelGeom(tex, coords.uv, l0);
     LevelGeom g1 = levelGeom(tex, coords.uv, l1);
 
-    std::vector<std::pair<int, int>> off0, off1;
+    std::vector<std::pair<int, int>> &off0 = scratch.off0;
+    std::vector<std::pair<int, int>> &off1 = scratch.off1;
     anisoOffsets(tex, lod, l0, n, off0);
     anisoOffsets(tex, lod, l1, n, off1);
 
@@ -260,9 +262,19 @@ sampleConventional(const Texture &tex, const SampleCoords &coords,
 void
 sampleDecomposed(const Texture &tex, const SampleCoords &coords,
                  FilterMode mode, unsigned max_aniso,
-                 DecomposedSampleResult &out)
+                 DecomposedSampleResult &out, SamplerScratch &scratch)
 {
-    out.clear();
+    // Reset everything except the parents vector, whose elements (and
+    // their children buffers) are reused in place: destroying them
+    // each fragment was the dominant allocation churn of the A-TFIM
+    // hot path.
+    out.color = ColorF{};
+    out.anisoRatio = 1;
+    out.hostFilterOps = 0;
+    out.pimFilterOps = 0;
+    out.numLevels = 1;
+    out.fx[0] = out.fx[1] = out.fy[0] = out.fy[1] = 0.0f;
+    out.levelWeight = 0.0f;
 
     TEXPIM_ASSERT(mode == FilterMode::Bilinear ||
                       mode == FilterMode::Trilinear,
@@ -286,12 +298,13 @@ sampleDecomposed(const Texture &tex, const SampleCoords &coords,
 
     static constexpr int kCorners[4][2] = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
 
-    std::vector<std::pair<int, int>> offs;
+    std::vector<std::pair<int, int>> &offs = scratch.off0;
     ColorF per_level[2];
     unsigned levels[2] = {l0, l1};
     unsigned num_levels = (l1 != l0) ? 2u : 1u;
     out.numLevels = num_levels;
     out.levelWeight = num_levels == 2 ? lw : 0.0f;
+    out.parents.resize(size_t(num_levels) * 4);
 
     for (unsigned li = 0; li < num_levels; ++li) {
         unsigned l = levels[li];
@@ -302,7 +315,8 @@ sampleDecomposed(const Texture &tex, const SampleCoords &coords,
 
         ColorF corner_vals[4];
         for (unsigned j = 0; j < 4; ++j) {
-            ParentTexel parent;
+            ParentTexel &parent = out.parents[size_t(li) * 4 + j];
+            parent.children.clear();
             parent.level = u8(l);
             parent.addr = tex.texelAddr(l, g.x0 + kCorners[j][0],
                                         g.y0 + kCorners[j][1]);
@@ -316,7 +330,6 @@ sampleDecomposed(const Texture &tex, const SampleCoords &coords,
             parent.value = acc * (1.0f / float(n));
             corner_vals[j] = parent.value;
             out.pimFilterOps += n;
-            out.parents.push_back(std::move(parent));
         }
 
         per_level[li] = lerp(lerp(corner_vals[0], corner_vals[1], g.fx),

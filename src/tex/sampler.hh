@@ -145,23 +145,60 @@ LodInfo computeLod(const Texture &tex, const SampleCoords &coords,
                    unsigned max_aniso);
 
 /**
+ * Caller-owned scratch buffers reused across fragments, so the hot
+ * sampling loops perform no per-fragment heap allocation after warmup.
+ * One instance per thread: the sampler itself is stateless, and the
+ * parallel phase-1 renderer hands each tile worker its own scratch.
+ */
+struct SamplerScratch
+{
+    std::vector<std::pair<int, int>> off0; //!< aniso offsets, level 0
+    std::vector<std::pair<int, int>> off1; //!< aniso offsets, level 1
+
+    // Result buffers for callers that only need the records
+    // transiently (the texture paths' functional sample step).
+    SampleResult conventional;
+    DecomposedSampleResult decomposed;
+};
+
+/**
  * Conventional filtering (Fig. 3 order). Appends every texel fetch to
  * `out.fetches`; `out` is an in/out parameter so hot loops can reuse
- * its buffers.
+ * its buffers, and `scratch` holds the per-thread working vectors.
  */
 void sampleConventional(const Texture &tex, const SampleCoords &coords,
                         FilterMode mode, unsigned max_aniso,
-                        SampleResult &out);
+                        SampleResult &out, SamplerScratch &scratch);
+
+/** Convenience overload with throwaway scratch (tests, one-shots). */
+inline void
+sampleConventional(const Texture &tex, const SampleCoords &coords,
+                   FilterMode mode, unsigned max_aniso, SampleResult &out)
+{
+    SamplerScratch scratch;
+    sampleConventional(tex, coords, mode, max_aniso, out, scratch);
+}
 
 /**
  * A-TFIM-decomposed filtering (§V): anisotropic averaging first (child
  * texels → parent texels, in the HMC), then bilinear/trilinear over the
  * parent texels (on the host GPU). Produces the same color as
  * sampleConventional up to float rounding — the property §V-B proves.
+ * Reuses `out`'s parent/children capacity across calls.
  */
 void sampleDecomposed(const Texture &tex, const SampleCoords &coords,
                       FilterMode mode, unsigned max_aniso,
-                      DecomposedSampleResult &out);
+                      DecomposedSampleResult &out, SamplerScratch &scratch);
+
+/** Convenience overload with throwaway scratch (tests, one-shots). */
+inline void
+sampleDecomposed(const Texture &tex, const SampleCoords &coords,
+                 FilterMode mode, unsigned max_aniso,
+                 DecomposedSampleResult &out)
+{
+    SamplerScratch scratch;
+    sampleDecomposed(tex, coords, mode, max_aniso, out, scratch);
+}
 
 } // namespace texpim
 

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Edge cases of setupTriangle/evalPixel, driven by hand-built
+ * ClipTriangles rather than the full geometry pipeline so each
+ * boundary condition is hit directly: sub-epsilon-area degenerates,
+ * bounding boxes clamped to the frame edges, interpolated W <= 0
+ * rejection, and pixel-center coverage along shared edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpu/raster.hh"
+
+namespace texpim {
+namespace {
+
+constexpr unsigned kW = 64;
+constexpr unsigned kH = 64;
+constexpr Vec3 kEye{0, 0, 2};
+constexpr Vec3 kLight{0, 0, 1};
+
+/**
+ * Build a ClipTriangle straight from NDC positions and per-vertex w.
+ * clip = ndc * w, so setupTriangle's perspective divide lands exactly
+ * on the requested NDC coordinates (w > 0), while w < 0 exercises the
+ * unclipped-behind-the-eye case the clipper normally removes.
+ */
+ClipTriangle
+clipTri(Vec2 n0, Vec2 n1, Vec2 n2, float w0 = 1.0f, float w1 = 1.0f,
+        float w2 = 1.0f)
+{
+    ClipTriangle t{};
+    const Vec2 ndc[3] = {n0, n1, n2};
+    const float w[3] = {w0, w1, w2};
+    for (int i = 0; i < 3; ++i) {
+        t.v[i].clip = {ndc[i].x * w[i], ndc[i].y * w[i], 0.0f, w[i]};
+        t.v[i].normal = {0, 0, 1};
+        t.v[i].world = {ndc[i].x, ndc[i].y, 0.0f};
+        t.v[i].uv = {(ndc[i].x + 1.0f) * 0.5f, (ndc[i].y + 1.0f) * 0.5f};
+    }
+    return t;
+}
+
+TEST(RasterEdgeCases, CollinearVerticesRejectedAsDegenerate)
+{
+    // Three distinct vertices on one line: the edge cross products
+    // cancel exactly in float, so area2 lands below the epsilon even
+    // though no two vertices coincide.
+    ClipTriangle t = clipTri({0.0f, 0.0f}, {0.5f, 0.5f}, {1.0f, 1.0f});
+    SetupTriangle st;
+    EXPECT_FALSE(setupTriangle(t, kW, kH, 0, st));
+}
+
+TEST(RasterEdgeCases, ThinSliverAboveEpsilonIsKept)
+{
+    // A needle one-millipixel high: tiny but well above the 1e-8
+    // degenerate threshold, so setup must keep it (dropping slivers
+    // would open cracks between abutting triangles).
+    float h_ndc = 1e-3f / (kH * 0.5f); // ~1e-3 px of screen height
+    ClipTriangle t =
+        clipTri({-0.5f, 0.0f}, {0.5f, 0.0f}, {0.0f, h_ndc});
+    SetupTriangle st;
+    ASSERT_TRUE(setupTriangle(t, kW, kH, 0, st));
+    EXPECT_GT(std::fabs(st.area2), 1e-8f);
+    // It still covers no pixel center on this grid.
+    FragmentSample frag;
+    unsigned covered = 0;
+    for (unsigned y = 0; y < kH; ++y)
+        for (unsigned x = 0; x < kW; ++x)
+            covered += evalPixel(st, x, y, kEye, kLight, frag);
+    EXPECT_EQ(covered, 0u);
+}
+
+TEST(RasterEdgeCases, BoundingBoxClampsToFrameEdges)
+{
+    // A triangle far larger than the viewport: the pixel bbox must be
+    // clamped to [0, width) x [0, height), and the corner pixels are
+    // genuinely covered.
+    ClipTriangle t = clipTri({-4.0f, -4.0f}, {4.0f, -4.0f}, {0.0f, 4.0f});
+    SetupTriangle st;
+    ASSERT_TRUE(setupTriangle(t, kW, kH, 0, st));
+    EXPECT_EQ(st.minX, 0);
+    EXPECT_EQ(st.minY, 0);
+    EXPECT_EQ(st.maxX, int(kW) - 1);
+    EXPECT_EQ(st.maxY, int(kH) - 1);
+    FragmentSample frag;
+    EXPECT_TRUE(evalPixel(st, 0, 0, kEye, kLight, frag));
+    EXPECT_TRUE(evalPixel(st, kW - 1, kH - 1, kEye, kLight, frag));
+}
+
+TEST(RasterEdgeCases, PartiallyOffscreenBoxClampsOnlyTheOffscreenSide)
+{
+    // Sticks out past the left edge only: minX clamps to 0, the right
+    // edge of the box stays interior.
+    ClipTriangle t = clipTri({-3.0f, -0.5f}, {0.0f, -0.5f}, {0.0f, 0.5f});
+    SetupTriangle st;
+    ASSERT_TRUE(setupTriangle(t, kW, kH, 0, st));
+    EXPECT_EQ(st.minX, 0);
+    EXPECT_LT(st.maxX, int(kW) - 1);
+    EXPECT_GT(st.minY, 0);
+}
+
+TEST(RasterEdgeCases, FullyOffscreenBoxRejectedAtSetup)
+{
+    // Nonzero area, but every vertex above the top edge: the clamped
+    // bbox is empty and setup rejects without touching the clipper.
+    ClipTriangle t = clipTri({-0.5f, 1.5f}, {0.5f, 1.5f}, {0.0f, 2.5f});
+    SetupTriangle st;
+    EXPECT_FALSE(setupTriangle(t, kW, kH, 0, st));
+}
+
+TEST(RasterEdgeCases, AllNegativeWRejectedPerPixel)
+{
+    // All three vertices behind the eye (w < 0). Their NDC projection
+    // still forms a valid screen triangle, so setup accepts it; the
+    // interpolated 1/w is negative everywhere and evalPixel must
+    // reject every pixel.
+    ClipTriangle t = clipTri({-0.5f, -0.5f}, {0.5f, -0.5f}, {0.0f, 0.5f},
+                             -1.0f, -1.0f, -1.0f);
+    SetupTriangle st;
+    ASSERT_TRUE(setupTriangle(t, kW, kH, 0, st));
+    FragmentSample frag;
+    for (unsigned y = 0; y < kH; ++y)
+        for (unsigned x = 0; x < kW; ++x)
+            EXPECT_FALSE(evalPixel(st, x, y, kEye, kLight, frag));
+}
+
+TEST(RasterEdgeCases, MixedSignWRejectsOnlyTheBehindRegion)
+{
+    // Two vertices in front (w = 1), one behind (w = -1): coverage
+    // near the front edge survives, pixels where the interpolated
+    // 1/w crosses zero or goes negative are rejected — and nothing
+    // with W <= 0 ever reaches the fragment output.
+    ClipTriangle t = clipTri({-0.8f, -0.8f}, {0.8f, -0.8f}, {0.0f, 0.8f},
+                             1.0f, 1.0f, -1.0f);
+    SetupTriangle st;
+    ASSERT_TRUE(setupTriangle(t, kW, kH, 0, st));
+    unsigned accepted = 0, rejected_inside = 0;
+    FragmentSample frag;
+    for (unsigned y = 0; y < kH; ++y)
+        for (unsigned x = 0; x < kW; ++x) {
+            Vec2 p{float(x) + 0.5f, float(y) + 0.5f};
+            float b0 = ((st.s[1].x - p.x) * (st.s[2].y - p.y) -
+                        (st.s[1].y - p.y) * (st.s[2].x - p.x)) *
+                       st.invArea;
+            float b1 = ((st.s[2].x - p.x) * (st.s[0].y - p.y) -
+                        (st.s[2].y - p.y) * (st.s[0].x - p.x)) *
+                       st.invArea;
+            float b2 = ((st.s[0].x - p.x) * (st.s[1].y - p.y) -
+                        (st.s[0].y - p.y) * (st.s[1].x - p.x)) *
+                       st.invArea;
+            bool inside = b0 >= 0.0f && b1 >= 0.0f && b2 >= 0.0f;
+            bool hit = evalPixel(st, x, y, kEye, kLight, frag);
+            float W = b0 * st.invW[0] + b1 * st.invW[1] + b2 * st.invW[2];
+            if (hit) {
+                ++accepted;
+                EXPECT_TRUE(inside);
+                EXPECT_GT(W, 0.0f);
+            } else if (inside) {
+                ++rejected_inside;
+                EXPECT_LE(W, 0.0f);
+            }
+        }
+    EXPECT_GT(accepted, 0u);        // the front region rasterizes
+    EXPECT_GT(rejected_inside, 0u); // the behind region is culled
+}
+
+TEST(RasterEdgeCases, SharedEdgePixelCentersCoveredByBothTriangles)
+{
+    // A full-viewport quad split along the screen diagonal y = x. The
+    // pixel centers (i+0.5, i+0.5) lie exactly on the shared edge:
+    // their edge function is an exact float zero, and the rasterizer's
+    // inclusive b >= 0 test covers them from BOTH triangles. That is
+    // the documented contract — no top-left rule, so shared edges
+    // produce benign overdraw (resolved by Z) but never cracks.
+    ClipTriangle t1 = clipTri({-1, 1}, {1, 1}, {1, -1});  // upper right
+    ClipTriangle t2 = clipTri({-1, 1}, {1, -1}, {-1, -1}); // lower left
+    SetupTriangle s1, s2;
+    ASSERT_TRUE(setupTriangle(t1, kW, kH, 0, s1));
+    ASSERT_TRUE(setupTriangle(t2, kW, kH, 0, s2));
+
+    FragmentSample frag;
+    for (unsigned y = 0; y < kH; ++y)
+        for (unsigned x = 0; x < kW; ++x) {
+            unsigned hits = evalPixel(s1, x, y, kEye, kLight, frag) +
+                            evalPixel(s2, x, y, kEye, kLight, frag);
+            if (x == y) {
+                // On the diagonal: claimed by both.
+                EXPECT_EQ(hits, 2u) << "x=" << x << " y=" << y;
+            } else {
+                // Off the diagonal: exactly one owner, no gap.
+                EXPECT_EQ(hits, 1u) << "x=" << x << " y=" << y;
+            }
+        }
+}
+
+TEST(RasterEdgeCases, SharedEdgeInterpolationAgreesAcrossOwners)
+{
+    // On the shared edge both triangles interpolate from the same two
+    // vertices, so depth and uv must agree bit-for-bit — the property
+    // that makes the double-coverage above harmless.
+    ClipTriangle t1 = clipTri({-1, 1}, {1, 1}, {1, -1});
+    ClipTriangle t2 = clipTri({-1, 1}, {1, -1}, {-1, -1});
+    SetupTriangle s1, s2;
+    ASSERT_TRUE(setupTriangle(t1, kW, kH, 0, s1));
+    ASSERT_TRUE(setupTriangle(t2, kW, kH, 0, s2));
+    for (unsigned i = 0; i < kW; ++i) {
+        FragmentSample a, b;
+        ASSERT_TRUE(evalPixel(s1, i, i, kEye, kLight, a));
+        ASSERT_TRUE(evalPixel(s2, i, i, kEye, kLight, b));
+        EXPECT_EQ(a.depth, b.depth) << "i=" << i;
+        EXPECT_EQ(a.uv.x, b.uv.x) << "i=" << i;
+        EXPECT_EQ(a.uv.y, b.uv.y) << "i=" << i;
+    }
+}
+
+} // namespace
+} // namespace texpim
