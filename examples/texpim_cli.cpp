@@ -48,6 +48,7 @@
 #include "common/stat_export.hh"
 #include "common/stat_registry.hh"
 #include "common/trace_events.hh"
+#include "gpu/params.hh"
 #include "quality/image_metrics.hh"
 #include "scene/trace.hh"
 #include "sim/experiment.hh"
@@ -87,19 +88,16 @@ collectConfig(int argc, char **argv, int first)
 
 /**
  * Unknown-key validation. Every key SimConfig::fromConfig (or scene
- * loading) queried is known automatically; this adds the CLI-only
- * keys. Unknown keys warn with a "did you mean" suggestion, or die
- * when strict_config=1.
+ * loading) queried is known automatically; knownConfigKeys() — the
+ * authoritative table texpim-lint rule C1 reconciles against the
+ * sources and the README — covers the CLI-only keys too. Unknown keys
+ * warn with a "did you mean" suggestion, or die when strict_config=1.
  */
 void
 validateConfig(const Config &cfg)
 {
-    static const std::vector<std::string> cli_keys = {
-        "width",     "height",    "frame",       "seed",
-        "max_aniso", "out",       "compress",    "stats_out",
-        "trace_out", "trace_cap", "strict_config", "jobs",
-        "metrics_out"};
-    cfg.checkKnownKeys(cli_keys, cfg.getBool("strict_config", false));
+    cfg.checkKnownKeys(knownConfigKeys(),
+                       cfg.getBool("strict_config", false));
 }
 
 Scene

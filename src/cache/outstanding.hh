@@ -63,6 +63,12 @@ class OutstandingMisses
         if (++lookups_since_prune_ < 4096)
             return;
         lookups_since_prune_ = 0;
+        // Invariant argument for iterating the unordered map: this is
+        // an erase-only sweep — every expired entry is removed no
+        // matter the visit order, nothing is read out, and no stat,
+        // export or replay stream observes the order, so the surviving
+        // set (and every later lookup/merge) is order-invariant.
+        // texpim-lint: allow(D2) erase-only sweep, order-invariant
         for (auto it = pending_.begin(); it != pending_.end();) {
             if (it->second <= now)
                 it = pending_.erase(it);

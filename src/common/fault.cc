@@ -116,6 +116,8 @@ std::vector<const FaultInjector *>
 FaultRegistry::sites() const
 {
     std::vector<const FaultInjector *> out(entries_.begin(), entries_.end());
+    // tie-break: site names are unique per registry (one injector per
+    // physical fault site), so name order is already total.
     std::sort(out.begin(), out.end(),
               [](const FaultInjector *a, const FaultInjector *b) {
                   return a->site() < b->site();

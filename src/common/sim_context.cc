@@ -16,6 +16,9 @@ SimContext::processDefault()
     // FaultInjector that registers through current() (their
     // constructors call this), therefore destroyed after the last one
     // — no static-destruction-order hazard.
+    // texpim-lint: allow(D4) registry-owned process-default context; worker
+    // threads install their own SimContext via Scope, so no cross-thread
+    // mutation of this instance during parallel rendering.
     static SimContext ctx;
     return ctx;
 }

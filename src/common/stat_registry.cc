@@ -33,6 +33,8 @@ std::vector<std::pair<std::string, StatGroup *>>
 StatRegistry::groupsMutable()
 {
     std::vector<Entry> sorted = entries_;
+    // tie-break: the registration sequence number disambiguates groups
+    // sharing a display name, so the comparison is a total order.
     std::sort(sorted.begin(), sorted.end(),
               [](const Entry &a, const Entry &b) {
                   if (a.group->name() != b.group->name())

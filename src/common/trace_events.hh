@@ -140,27 +140,29 @@ class TraceEvents
 #define TEXPIM_TRACE_SPAN(cat, name, tid, begin, end) \
     do { \
         if (::texpim::TraceEvents::active()) \
-            ::texpim::TraceEvents::instance().span(cat, name, tid, begin, \
-                                                   end); \
+            ::texpim::TraceEvents::instance().span((cat), (name), (tid), \
+                                                   (begin), (end)); \
     } while (0)
 
 #define TEXPIM_TRACE_COMPLETE(cat, name, tid, ts, dur) \
     do { \
         if (::texpim::TraceEvents::active()) \
-            ::texpim::TraceEvents::instance().complete(cat, name, tid, ts, \
-                                                       dur); \
+            ::texpim::TraceEvents::instance().complete((cat), (name), \
+                                                       (tid), (ts), (dur)); \
     } while (0)
 
 #define TEXPIM_TRACE_INSTANT(cat, name, tid, ts) \
     do { \
         if (::texpim::TraceEvents::active()) \
-            ::texpim::TraceEvents::instance().instant(cat, name, tid, ts); \
+            ::texpim::TraceEvents::instance().instant((cat), (name), (tid), \
+                                                      (ts)); \
     } while (0)
 
 #define TEXPIM_TRACE_COUNTER(cat, name, ts, value) \
     do { \
         if (::texpim::TraceEvents::active()) \
-            ::texpim::TraceEvents::instance().counter(cat, name, ts, value); \
+            ::texpim::TraceEvents::instance().counter((cat), (name), (ts), \
+                                                      (value)); \
     } while (0)
 
 #else

@@ -62,6 +62,8 @@ HostTexturePath::sample(const TexRequest &req, ReplayStream &stream,
     for (const auto &f : res.fetches)
         stream.blocks.push_back(l1.lineAddr(f.addr));
     auto tail = stream.blocks.begin() + rec.blockOff;
+    // tie-break: line addresses are u64 (total order); duplicates are
+    // interchangeable values and the following unique() removes them.
     std::sort(tail, stream.blocks.end());
     stream.blocks.erase(std::unique(tail, stream.blocks.end()),
                         stream.blocks.end());
@@ -138,6 +140,7 @@ HostTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
     // request's timing — see README "Debugging aids").
     // thread_local: each worker thread throttles its own dump stream
     // without racing (debug aid only; no effect on results).
+    // texpim-lint: allow(D1) debug-only trace toggle, never affects results
     static thread_local long trace_every =
         std::getenv("TEXPIM_TRACE_TEX")
             ? std::atol(std::getenv("TEXPIM_TRACE_TEX"))

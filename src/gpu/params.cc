@@ -49,4 +49,73 @@ GpuParams::fromConfig(const Config &cfg)
     return p;
 }
 
+/**
+ * Every configuration key the simulator and the CLI accept — the
+ * single authoritative list. texpim-lint rule C1 reconciles it three
+ * ways: every key read in src/ must be listed here, every listed key
+ * must still be read somewhere, and every listed key must appear in
+ * the README configuration reference. Keep the sections sorted.
+ */
+const std::vector<std::string> &
+knownConfigKeys()
+{
+    // texpim-lint: config-key-table begin
+    static const std::vector<std::string> keys = {
+        // Scene / workload (CLI).
+        "compress", "design", "disable_aniso", "frame", "height",
+        "jobs", "max_aniso", "metrics_out", "out", "seed", "stats_out",
+        "strict_config", "trace_cap", "trace_out", "width",
+
+        // A-TFIM approximation.
+        "atfim.angle_threshold_rad",
+
+        // Energy model.
+        "energy.alu_op_j", "energy.atfim_logic_w", "energy.core_ghz",
+        "energy.gddr5_activate_j", "energy.gddr5_background_w",
+        "energy.gddr5_j_per_bit", "energy.gpu_background_w",
+        "energy.hmc_background_w", "energy.hmc_dram_j_per_bit",
+        "energy.hmc_link_j_per_bit", "energy.l1_access_j",
+        "energy.l2_access_j", "energy.leakage_fraction",
+        "energy.rop_cache_access_j", "energy.stfim_mtu_w",
+        "energy.tex_alu_op_j",
+
+        // Fault injection / robustness.
+        "fault_burst_len", "fault_degrade_min_packets",
+        "fault_degrade_retry_rate", "fault_link_ber",
+        "fault_package_timeout", "fault_seed", "fault_vault_ber",
+
+        // GDDR5 baseline memory.
+        "gddr5.bandwidth_gbs", "gddr5.banks_per_channel",
+        "gddr5.channels", "gddr5.command_latency",
+
+        // Host GPU.
+        "gpu.clusters", "gpu.deterministic_schedule",
+        "gpu.fragment_cycles", "gpu.fragment_pipeline_cycles",
+        "gpu.frequency_ghz", "gpu.max_inflight_tex",
+        "gpu.render_threads", "gpu.setup_cycles",
+        "gpu.shaders_per_cluster", "gpu.tex_address_alus",
+        "gpu.tex_filter_alus", "gpu.tex_l1_bytes", "gpu.tex_l1_latency",
+        "gpu.tex_l1_ways", "gpu.tex_l2_bytes", "gpu.tex_l2_latency",
+        "gpu.tex_l2_ways", "gpu.tex_unit_texels_per_cycle",
+        "gpu.tile_size", "gpu.vertex_cycles",
+
+        // HMC stack.
+        "hmc.banks_per_vault", "hmc.cubes",
+        "hmc.external_bandwidth_gbs", "hmc.internal_bandwidth_gbs",
+        "hmc.link_latency", "hmc.max_retries",
+        "hmc.request_packet_bytes", "hmc.response_header_bytes",
+        "hmc.retry_buffer_packets", "hmc.retry_latency",
+        "hmc.switch_latency", "hmc.tsv_latency",
+        "hmc.vault_command_latency", "hmc.vaults",
+
+        // PIM package sizes.
+        "pim.offload_factor", "pim.parent_base_addr_bytes",
+        "pim.parent_offset_bytes", "pim.parent_value_bytes",
+        "pim.read_request_bytes", "pim.response_header_bytes",
+        "pim.tex_result_bytes",
+    };
+    // texpim-lint: config-key-table end
+    return keys;
+}
+
 } // namespace texpim

@@ -88,6 +88,13 @@ struct GpuParams
     static GpuParams fromConfig(const Config &cfg);
 };
 
+/**
+ * The full set of configuration keys the simulator and CLI accept —
+ * the list `Config::checkKnownKeys` validates against, kept in sync
+ * with the README configuration reference by texpim-lint rule C1.
+ */
+const std::vector<std::string> &knownConfigKeys();
+
 } // namespace texpim
 
 #endif // TEXPIM_GPU_PARAMS_HH

@@ -31,6 +31,8 @@ const Vec3 kLightDir = Vec3{-0.35f, 0.85f, 0.4f}.normalized();
 double
 wallSeconds()
 {
+    // texpim-lint: allow(D1) host wall-clock for bench-only phase fields,
+    // never folded into simulated cycles or exported results (PR 4).
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();

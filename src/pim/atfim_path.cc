@@ -207,6 +207,7 @@ AtfimTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
         // refreshes the store with the fresh value.
         // (TEXPIM_ATFIM_NO_REUSE=1 disables the approximation for
         // quality-debugging: timing unchanged, values always fresh.)
+        // texpim-lint: allow(D1) quality-debug toggle, timing unchanged
         static const bool no_reuse =
             std::getenv("TEXPIM_ATFIM_NO_REUSE") != nullptr;
         u32 child_key = parent.childKey;
@@ -225,6 +226,7 @@ AtfimTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
                     ++stats_.counter("reuse_mismatch_same_children");
                 // thread_local: workers dump their own budget without
                 // racing (debug aid only; no effect on results).
+                // texpim-lint: allow(D1) debug mismatch dump, results unchanged
                 static thread_local long dump_left =
                     std::getenv("TEXPIM_DUMP_MISMATCH")
                         ? std::atol(std::getenv("TEXPIM_DUMP_MISMATCH"))
@@ -270,6 +272,8 @@ AtfimTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
                 child_blocks_.push_back(stream.childBlocks[mp.childOff + j]);
         }
         if (atfim_.consolidateChildren) {
+            // tie-break: child block addresses are u64 (total order);
+            // duplicates are interchangeable and unique() drops them.
             std::sort(child_blocks_.begin(), child_blocks_.end());
             child_blocks_.erase(
                 std::unique(child_blocks_.begin(), child_blocks_.end()),

@@ -99,6 +99,8 @@ StfimTexturePath::sample(const TexRequest &req, ReplayStream &stream,
     for (const auto &f : res.fetches)
         stream.blocks.push_back(f.addr & ~(gran - 1));
     auto tail = stream.blocks.begin() + rec.blockOff;
+    // tie-break: block addresses are u64 (total order); duplicates are
+    // interchangeable values and the following unique() removes them.
     std::sort(tail, stream.blocks.end());
     stream.blocks.erase(std::unique(tail, stream.blocks.end()),
                         stream.blocks.end());

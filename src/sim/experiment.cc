@@ -173,6 +173,8 @@ SuiteOptions
 parseSuiteArgs(int argc, char **argv)
 {
     SuiteOptions opt;
+    // texpim-lint: allow(D1) worker-count knob only; results are
+    // thread-count-invariant by construction (PR 3).
     if (const char *env = std::getenv("TEXPIM_JOBS"); env && *env)
         opt.jobs = unsigned(std::atoi(env));
     for (int i = 1; i < argc; ++i) {

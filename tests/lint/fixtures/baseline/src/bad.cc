@@ -1,0 +1,3 @@
+#include <cstdlib>
+
+int baselined() { return rand(); }

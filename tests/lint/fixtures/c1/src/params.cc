@@ -1,0 +1,8 @@
+// Fixture known-key table.
+// texpim-lint: config-key-table begin
+static const char *keys[] = {
+    "used_key",
+    "dead_key",
+    "undocumented_key",
+};
+// texpim-lint: config-key-table end

@@ -1,0 +1,9 @@
+struct Cfg { int getInt(const char *key, int def) const; };
+
+int readKeys(const Cfg &cfg)
+{
+    int a = cfg.getInt("used_key", 1);
+    int b = cfg.getInt("unlisted_key", 2);
+    int c = cfg.getInt("undocumented_key", 3);
+    return a + b + c;
+}

@@ -1,0 +1,10 @@
+// D1 fixture: three seeded nondeterminism sources (lines 5, 7, 10).
+#include <cstdlib>
+#include <chrono>
+
+int noise() { return rand(); }
+double wall() {
+    return std::chrono::system_clock::now()
+        .time_since_epoch().count();
+}
+const char *env() { return std::getenv("HOME"); }

@@ -1,0 +1,17 @@
+// D1 fixture: lookalikes that must NOT fire, plus a justified allow.
+#include <ctime>
+
+struct Timer { long time(long) { return 0; } };
+
+long use(Timer &t) {
+    long v = t.time(0);
+    int operand = 1;
+    (void)operand;
+    const char *s = "rand() and getenv() only appear in this string";
+    (void)s;
+    return v;
+}
+
+// rand() in a comment must not fire either.
+// texpim-lint: allow(D1) fixture exercising annotation suppression
+long suppressed() { return std::time(nullptr); }

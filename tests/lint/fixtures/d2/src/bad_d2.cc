@@ -1,0 +1,10 @@
+#include <unordered_map>
+
+int sumTable()
+{
+    std::unordered_map<int, int> table;
+    int s = 0;
+    for (const auto &kv : table)
+        s += kv.second;
+    return s;
+}

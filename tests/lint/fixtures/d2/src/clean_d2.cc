@@ -1,0 +1,15 @@
+#include <unordered_map>
+#include <vector>
+
+int sumClean()
+{
+    std::unordered_map<int, int> counts;
+    int s = 0;
+    // texpim-lint: allow(D2) order-invariant sum, addition commutes
+    for (auto it = counts.begin(); it != counts.end(); ++it)
+        s += it->second;
+    std::vector<int> ordered{4, 5, 6};
+    for (int v : ordered)
+        s += v;
+    return s;
+}

@@ -1,0 +1,7 @@
+#include <algorithm>
+#include <vector>
+
+void orderFixture(std::vector<int> &v)
+{
+    std::sort(v.begin(), v.end());
+}

@@ -1,0 +1,10 @@
+#include <algorithm>
+#include <vector>
+
+void orderStable(std::vector<int> &v)
+{
+    std::stable_sort(v.begin(), v.end());
+    // tie-break: int values are their own total order; duplicates are
+    // interchangeable.
+    std::sort(v.begin(), v.end());
+}

@@ -1,0 +1,5 @@
+int nextId()
+{
+    static int counter = 0;
+    return ++counter;
+}

@@ -1,0 +1,14 @@
+#include <cstddef>
+
+int cleanNextId()
+{
+    static const int base = 40;
+    static constexpr std::size_t kWidth = 8;
+    static thread_local int scratch = 0;
+    static_assert(sizeof(int) >= 4, "int width");
+    ++scratch;
+    return base + int(kWidth) + scratch;
+}
+
+static int helper();
+static int helper() { return 1; }

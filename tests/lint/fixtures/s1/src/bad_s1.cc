@@ -1,0 +1,10 @@
+struct StatGroup; // fixture: textual scan only, never compiled
+
+void registerStats(StatGroup &g);
+
+void wireStats(StatGroup &g)
+{
+    g.counter("described", "a properly documented event count");
+    g.counter("undescribed");
+    g.histogram("undescribed_hist", 0, 10, 4);
+}

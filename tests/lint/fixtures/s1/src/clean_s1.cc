@@ -1,0 +1,10 @@
+struct StatGroup; // fixture: textual scan only, never compiled
+
+void wireCleanStats(StatGroup &g)
+{
+    g.counter("events", "number of events observed");
+    g.average("latency", "mean event latency in cycles");
+    g.histogram("sizes", 0, 128, 8, "event size distribution");
+    g.counter("events") += 1;
+    g.counter(dynamicName() ? "reads" : "writes") += 1;
+}

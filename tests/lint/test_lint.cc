@@ -1,0 +1,225 @@
+/**
+ * @file
+ * End-to-end tests for the texpim-lint binary: every rule fires on its
+ * seeded fixture violation at the exact line, stays quiet on the clean
+ * counterpart, honors allow() annotations and the baseline, and uses
+ * the documented exit codes (0 clean, 1 new findings, 2 usage error).
+ *
+ * The fixtures live in tests/lint/fixtures/<rule>/ — each is a tiny
+ * repo root of its own so the path-scoping rules (src/ vs bench/)
+ * apply to the fixtures exactly as they do to the real tree. The
+ * binary path and fixture root come in as compile definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct LintRun
+{
+    int exitCode = -1;
+    std::string out;
+};
+
+/** Run the lint binary with `args`, capturing stdout+stderr. */
+LintRun
+runLint(const std::string &args)
+{
+    LintRun r;
+    std::string cmd = std::string(TEXPIM_LINT_BIN) + " " + args + " 2>&1";
+    FILE *p = popen(cmd.c_str(), "r");
+    if (p == nullptr) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return r;
+    }
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof buf, p)) > 0)
+        r.out.append(buf, n);
+    int status = pclose(p);
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(TEXPIM_LINT_FIXTURES) + "/" + name;
+}
+
+int
+countOf(const std::string &hay, const std::string &needle)
+{
+    int n = 0;
+    for (size_t at = hay.find(needle); at != std::string::npos;
+         at = hay.find(needle, at + needle.size()))
+        ++n;
+    return n;
+}
+
+TEST(TexpimLint, D1FlagsSeededNondeterminismAtExactLines)
+{
+    LintRun r = runLint("--repo-root " + fixture("d1") + " --rules D1,A0 src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    EXPECT_NE(r.out.find("src/bad_d1.cc:5: [D1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("src/bad_d1.cc:7: [D1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("src/bad_d1.cc:10: [D1]"), std::string::npos)
+        << r.out;
+    EXPECT_EQ(countOf(r.out, "[D1]"), 3) << r.out;
+    // The clean file's lookalikes (member .time(), identifiers and
+    // strings containing rand/getenv, comments) and its justified
+    // allow(D1) std::time() use must all stay quiet — including A0,
+    // because the justification is long enough.
+    EXPECT_EQ(r.out.find("clean_d1.cc"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("[A0]"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("3 new finding(s)"), std::string::npos) << r.out;
+}
+
+TEST(TexpimLint, D2FlagsUnorderedIterationButHonorsAllow)
+{
+    LintRun r = runLint("--repo-root " + fixture("d2") + " --rules D2,A0 src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    EXPECT_NE(r.out.find("src/bad_d2.cc:7: [D2]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("'table'"), std::string::npos) << r.out;
+    EXPECT_EQ(countOf(r.out, "[D2]"), 1) << r.out;
+    // clean_d2.cc iterates an unordered_map too, but under an
+    // annotation that covers the loop on the following line.
+    EXPECT_EQ(r.out.find("clean_d2.cc"), std::string::npos) << r.out;
+}
+
+TEST(TexpimLint, D3FlagsSortWithoutTieBreakComment)
+{
+    LintRun r = runLint("--repo-root " + fixture("d3") + " --rules D3 src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    EXPECT_NE(r.out.find("src/bad_d3.cc:6: [D3]"), std::string::npos)
+        << r.out;
+    EXPECT_EQ(countOf(r.out, "[D3]"), 1) << r.out;
+    // clean_d3.cc uses stable_sort, and its one std::sort carries a
+    // tie-break comment within the three preceding lines.
+    EXPECT_EQ(r.out.find("clean_d3.cc"), std::string::npos) << r.out;
+}
+
+TEST(TexpimLint, D4FlagsMutableStaticButExemptsImmutable)
+{
+    LintRun r = runLint("--repo-root " + fixture("d4") + " --rules D4 src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    EXPECT_NE(r.out.find("src/bad_d4.cc:3: [D4]"), std::string::npos)
+        << r.out;
+    EXPECT_EQ(countOf(r.out, "[D4]"), 1) << r.out;
+    // const, constexpr, thread_local, static_assert and static
+    // function declarations are all exempt.
+    EXPECT_EQ(r.out.find("clean_d4.cc"), std::string::npos) << r.out;
+}
+
+TEST(TexpimLint, S1FlagsUndescribedStatsOnce)
+{
+    LintRun r = runLint("--repo-root " + fixture("s1") + " --rules S1 src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    EXPECT_NE(r.out.find("src/bad_s1.cc:8: [S1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("'undescribed'"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("src/bad_s1.cc:9: [S1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("'undescribed_hist'"), std::string::npos) << r.out;
+    EXPECT_EQ(countOf(r.out, "[S1]"), 2) << r.out;
+    // Described registrations, hot-path re-lookups of described stats
+    // and dynamic (conditional) names are all fine.
+    EXPECT_EQ(r.out.find("clean_s1.cc"), std::string::npos) << r.out;
+}
+
+TEST(TexpimLint, A0FlagsTooShortJustificationButStillSuppresses)
+{
+    LintRun r = runLint("--repo-root " + fixture("a0") + " --rules D1,A0 src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    // The annotation suppresses the D1 finding even though its reason
+    // is too short — but the annotation itself is flagged.
+    EXPECT_NE(r.out.find("src/short_reason.cc:3: [A0]"), std::string::npos)
+        << r.out;
+    EXPECT_EQ(r.out.find("[D1]"), std::string::npos) << r.out;
+    EXPECT_EQ(countOf(r.out, "[A0]"), 1) << r.out;
+}
+
+TEST(TexpimLint, C1ReconcilesTableSourcesAndDocsThreeWays)
+{
+    LintRun r = runLint("--repo-root " + fixture("c1") +
+                        " --rules C1 --key-table src/params.cc "
+                        "--doc README.md src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    // Read in src/ but missing from the table.
+    EXPECT_NE(r.out.find("src/uses.cc:6: [C1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("'unlisted_key'"), std::string::npos) << r.out;
+    // In the table but never read anywhere.
+    EXPECT_NE(r.out.find("src/params.cc:5: [C1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("'dead_key'"), std::string::npos) << r.out;
+    // In the table but absent from the docs.
+    EXPECT_NE(r.out.find("src/params.cc:6: [C1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("'undocumented_key'"), std::string::npos) << r.out;
+    // A documented key that does not exist (stale docs).
+    EXPECT_NE(r.out.find("README.md:8: [C1]"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("'ghost_key'"), std::string::npos) << r.out;
+    EXPECT_EQ(countOf(r.out, "[C1]"), 4) << r.out;
+    // used_key is listed, read and documented: never mentioned.
+    EXPECT_EQ(r.out.find("'used_key'"), std::string::npos) << r.out;
+}
+
+TEST(TexpimLint, BaselineSuppressesKnownFindingsByRulePathKey)
+{
+    std::string root = "--repo-root " + fixture("baseline") + " --rules D1 ";
+
+    LintRun fresh = runLint(root + "src");
+    EXPECT_EQ(fresh.exitCode, 1) << fresh.out;
+    EXPECT_NE(fresh.out.find("src/bad.cc:3: [D1]"), std::string::npos)
+        << fresh.out;
+
+    // --write-baseline captures the current findings and exits 0.
+    std::string baseline = testing::TempDir() + "texpim_lint_baseline.txt";
+    LintRun wrote = runLint(root + "--write-baseline " + baseline + " src");
+    EXPECT_EQ(wrote.exitCode, 0) << wrote.out;
+    EXPECT_NE(wrote.out.find("wrote 1 finding(s)"), std::string::npos)
+        << wrote.out;
+
+    // The baseline key is rule|path|key — no line number — so the
+    // suppression survives the finding moving to another line.
+    std::ifstream in(baseline);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("D1|src/bad.cc|rand()/srand()"),
+              std::string::npos)
+        << contents;
+
+    LintRun clean = runLint(root + "--baseline " + baseline + " src");
+    EXPECT_EQ(clean.exitCode, 0) << clean.out;
+    EXPECT_NE(clean.out.find("0 new finding(s), 1 baselined"),
+              std::string::npos)
+        << clean.out;
+
+    std::remove(baseline.c_str());
+}
+
+TEST(TexpimLint, CleanScanExitsZero)
+{
+    LintRun r = runLint("--repo-root " + fixture("d3") +
+                        " --rules D3 src/clean_d3.cc");
+    EXPECT_EQ(r.exitCode, 0) << r.out;
+    EXPECT_NE(r.out.find("0 new finding(s)"), std::string::npos) << r.out;
+}
+
+TEST(TexpimLint, UnknownFlagIsAUsageError)
+{
+    LintRun r = runLint("--no-such-flag");
+    EXPECT_EQ(r.exitCode, 2) << r.out;
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Baseline (grandfathered-findings) support.
+ *
+ * Entries are "rule|path|key" — deliberately line-number-free so that
+ * unrelated edits shifting a file do not resurrect a grandfathered
+ * finding. The intended end state of the baseline is *empty*: findings
+ * should be fixed or carry an allow() annotation with justification.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <fstream>
+
+namespace texpim_lint {
+
+std::string
+baselineKey(const Finding &f)
+{
+    return f.rule + "|" + f.path + "|" + f.key;
+}
+
+std::set<std::string>
+loadBaseline(const std::string &path, bool &ok)
+{
+    std::set<std::string> entries;
+    std::ifstream in(path);
+    ok = bool(in);
+    if (!ok)
+        return entries;
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        size_t e = line.find_last_not_of(" \t\r");
+        entries.insert(line.substr(b, e - b + 1));
+    }
+    return entries;
+}
+
+void
+writeBaselineFile(const std::string &path,
+                  const std::vector<Finding> &findings)
+{
+    std::vector<std::string> keys;
+    keys.reserve(findings.size());
+    for (const Finding &f : findings)
+        keys.push_back(baselineKey(f));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    std::ofstream out(path);
+    out << "# texpim-lint baseline: grandfathered findings "
+           "(rule|path|key).\n"
+        << "# Fix findings instead of adding entries; an empty baseline "
+           "is the goal.\n";
+    for (const std::string &k : keys)
+        out << k << "\n";
+}
+
+} // namespace texpim_lint

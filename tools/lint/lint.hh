@@ -1,0 +1,128 @@
+/**
+ * @file
+ * texpim-lint: a project-specific determinism & invariant checker.
+ *
+ * A token/AST-lite scanner (no libclang, builds everywhere CI does)
+ * that encodes TexPIM's reproducibility discipline as named,
+ * individually-suppressible rules:
+ *
+ *   [D1] no nondeterminism sources in src/ (rand(), std::random_device,
+ *        wall clocks, time(), getenv outside params.cc) — every
+ *        stochastic or environment-dependent choice must flow through
+ *        the seeded common/rng.hh or the Config surface.
+ *   [D2] no range-for / iterator loops over std::unordered_map /
+ *        std::unordered_set: iteration order is stdlib- and
+ *        seed-dependent, which silently breaks bit-identical stats,
+ *        exports, images and replay streams.
+ *   [D3] std::sort on sim-ordering data must either be std::stable_sort
+ *        or carry a written total-order argument ("tie-break:" /
+ *        "total order" in a nearby comment): equal-key order under
+ *        std::sort is unspecified and stdlib-dependent.
+ *   [D4] no mutable namespace/function-`static` state in src/ that is
+ *        not thread_local, const/constexpr, or a registry-owned
+ *        singleton (annotated): racy statics broke parallel sweeps in
+ *        PR 3.
+ *   [S1] every Stat* registered in a StatGroup must pass a non-empty
+ *        description somewhere (the PR-1 registry contract keeps
+ *        `texpim stats` and the JSON export self-documenting).
+ *   [C1] every config key referenced in source must appear in the
+ *        known-key table in src/gpu/params.cc and in the README
+ *        configuration-reference table, and vice versa (catches dead
+ *        knobs and undocumented ones).
+ *   [A0] every `texpim-lint: allow(...)` annotation must carry a
+ *        written justification.
+ *
+ * Suppression: `// texpim-lint: allow(D2) <reason>` on the offending
+ * line or the line above it. A checked-in baseline file grandfathers
+ * old findings; the tool exits non-zero only on new ones.
+ */
+
+#ifndef TEXPIM_TOOLS_LINT_LINT_HH
+#define TEXPIM_TOOLS_LINT_LINT_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace texpim_lint {
+
+struct Finding
+{
+    std::string rule;    //!< "D1" ... "C1", "A0"
+    std::string path;    //!< repo-relative, '/'-separated
+    int line = 0;        //!< 1-based
+    std::string key;     //!< stable token for baseline matching
+    std::string message; //!< human-readable diagnostic
+    bool baselined = false;
+};
+
+/** One scanned file with comment/string-stripped views and the
+ *  allow() annotations found in its comments. */
+struct SourceFile
+{
+    std::string path; //!< repo-relative
+
+    std::vector<std::string> raw;  //!< verbatim lines
+    /** Comments and string/char literals blanked with spaces (layout
+     *  and line numbers preserved). */
+    std::vector<std::string> code;
+    /** Comments blanked, string literals kept (for rules that read
+     *  key/stat-name literals). */
+    std::vector<std::string> codeStr;
+
+    /** allow() annotations: line -> suppressed rule ids. An annotation
+     *  covers its own line and up to three following lines. */
+    std::map<int, std::set<std::string>> allow;
+    /** A0 findings produced while parsing annotations. */
+    std::vector<Finding> annotationFindings;
+
+    bool inSrc = false;
+    bool inBench = false;
+    bool inTests = false;
+};
+
+struct Options
+{
+    std::string repoRoot = ".";
+    std::vector<std::string> roots; //!< scan roots relative to repoRoot
+    std::vector<std::string> excludes;
+    std::set<std::string> rules;    //!< empty = all rules
+    std::string baselinePath;
+    std::string writeBaselinePath;
+    std::string keyTablePath;       //!< default src/gpu/params.cc
+    std::vector<std::string> docPaths; //!< default README.md DESIGN.md
+    bool verbose = false;
+};
+
+bool ruleEnabled(const Options &opt, const std::string &rule);
+
+/** Is `rule` suppressed at `line` (1-based) of `f`? */
+bool isAllowed(const SourceFile &f, int line, const std::string &rule);
+
+/** Load and pre-process one file (never fails; unreadable files come
+ *  back empty). `relPath` is the repo-relative path used in
+ *  diagnostics. */
+SourceFile loadSource(const std::string &absPath,
+                      const std::string &relPath);
+
+/** Rules D1-D4 and S1 over the scanned file set. */
+void runTextRules(const std::vector<SourceFile> &files, const Options &opt,
+                  std::vector<Finding> &out);
+
+/** Rule C1: config-key cross-check between source references, the
+ *  known-key table and the documentation table. */
+void runConfigRule(const std::vector<SourceFile> &files, const Options &opt,
+                   std::vector<Finding> &out);
+
+// ---- baseline ----
+
+/** Baseline entries as "rule|path|key" strings. */
+std::set<std::string> loadBaseline(const std::string &path, bool &ok);
+void writeBaselineFile(const std::string &path,
+                       const std::vector<Finding> &findings);
+std::string baselineKey(const Finding &f);
+
+} // namespace texpim_lint
+
+#endif // TEXPIM_TOOLS_LINT_LINT_HH

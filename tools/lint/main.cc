@@ -1,0 +1,217 @@
+/**
+ * @file
+ * texpim-lint driver: walk the tree, run the rules, reconcile with the
+ * baseline, report.
+ *
+ *   texpim-lint [options] [scan-root ...]
+ *     --repo-root DIR       repository root (default: .)
+ *     --baseline FILE       grandfathered findings; new ones fail
+ *     --write-baseline FILE write every current finding and exit 0
+ *     --rules LIST          comma-separated rule ids (default: all)
+ *     --exclude SUBSTR      skip paths containing SUBSTR (repeatable)
+ *     --key-table FILE      known-key table (default src/gpu/params.cc)
+ *     --doc FILE            documentation file for C1 (repeatable;
+ *                           default README.md DESIGN.md)
+ *     --verbose             also print baselined findings
+ *
+ * Scan roots default to src bench tests examples (relative to the repo
+ * root). Exit status: 0 clean, 1 new findings, 2 usage/configuration
+ * error.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace fs = std::filesystem;
+using namespace texpim_lint;
+
+namespace {
+
+bool
+isSourceFile(const fs::path &p)
+{
+    std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".h" ||
+           ext == ".hpp";
+}
+
+std::string
+normalize(std::string s)
+{
+    std::replace(s.begin(), s.end(), '\\', '/');
+    return s;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr, "usage: texpim-lint [options] [scan-root ...] "
+                         "(see tools/lint/main.cc)\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    opt.keyTablePath = "src/gpu/params.cc";
+    opt.docPaths = {"README.md", "DESIGN.md"};
+    opt.excludes = {"tests/lint/fixtures"};
+    bool docsOverridden = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "texpim-lint: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--repo-root") {
+            opt.repoRoot = value("--repo-root");
+        } else if (a == "--baseline") {
+            opt.baselinePath = value("--baseline");
+        } else if (a == "--write-baseline") {
+            opt.writeBaselinePath = value("--write-baseline");
+        } else if (a == "--key-table") {
+            opt.keyTablePath = value("--key-table");
+        } else if (a == "--doc") {
+            if (!docsOverridden) {
+                opt.docPaths.clear();
+                docsOverridden = true;
+            }
+            opt.docPaths.push_back(value("--doc"));
+        } else if (a == "--exclude") {
+            opt.excludes.push_back(value("--exclude"));
+        } else if (a == "--rules") {
+            std::string list = value("--rules");
+            size_t start = 0;
+            while (start <= list.size()) {
+                size_t comma = list.find(',', start);
+                std::string r = list.substr(
+                    start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+                if (!r.empty())
+                    opt.rules.insert(r);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        } else if (a == "--verbose") {
+            opt.verbose = true;
+        } else if (a.rfind("--", 0) == 0) {
+            return usage();
+        } else {
+            opt.roots.push_back(a);
+        }
+    }
+    if (opt.roots.empty())
+        opt.roots = {"src", "bench", "tests", "examples"};
+
+    // ---- collect files ----
+    std::vector<std::string> relPaths;
+    for (const std::string &root : opt.roots) {
+        fs::path abs = fs::path(opt.repoRoot) / root;
+        std::error_code ec;
+        if (fs::is_regular_file(abs, ec)) {
+            relPaths.push_back(normalize(root));
+            continue;
+        }
+        if (!fs::is_directory(abs, ec))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(abs, ec);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file(ec) || !isSourceFile(it->path()))
+                continue;
+            std::string rel = normalize(
+                fs::relative(it->path(), opt.repoRoot, ec).string());
+            relPaths.push_back(rel);
+        }
+    }
+    std::sort(relPaths.begin(), relPaths.end());
+    relPaths.erase(std::unique(relPaths.begin(), relPaths.end()),
+                   relPaths.end());
+
+    std::vector<SourceFile> files;
+    for (const std::string &rel : relPaths) {
+        bool skip = false;
+        for (const std::string &ex : opt.excludes)
+            if (rel.find(ex) != std::string::npos)
+                skip = true;
+        if (skip)
+            continue;
+        files.push_back(loadSource(opt.repoRoot + "/" + rel, rel));
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "texpim-lint: nothing to scan under '%s'\n",
+                     opt.repoRoot.c_str());
+        return 2;
+    }
+
+    // ---- run rules ----
+    std::vector<Finding> findings;
+    runTextRules(files, opt, findings);
+    if (ruleEnabled(opt, "C1"))
+        runConfigRule(files, opt, findings);
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.path != b.path)
+                      return a.path < b.path;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.key < b.key;
+              });
+
+    // ---- baseline ----
+    if (!opt.baselinePath.empty()) {
+        bool ok = false;
+        std::set<std::string> baseline =
+            loadBaseline(opt.baselinePath, ok);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "texpim-lint: cannot read baseline '%s'\n",
+                         opt.baselinePath.c_str());
+            return 2;
+        }
+        for (Finding &f : findings)
+            f.baselined = baseline.count(baselineKey(f)) != 0;
+    }
+
+    if (!opt.writeBaselinePath.empty()) {
+        writeBaselineFile(opt.writeBaselinePath, findings);
+        std::printf("texpim-lint: wrote %zu finding(s) to %s\n",
+                    findings.size(), opt.writeBaselinePath.c_str());
+        return 0;
+    }
+
+    // ---- report ----
+    size_t fresh = 0, old = 0;
+    for (const Finding &f : findings) {
+        if (f.baselined) {
+            ++old;
+            if (opt.verbose)
+                std::printf("%s:%d: [%s] (baselined) %s\n",
+                            f.path.c_str(), f.line, f.rule.c_str(),
+                            f.message.c_str());
+            continue;
+        }
+        ++fresh;
+        std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    }
+    std::printf("texpim-lint: %zu new finding(s), %zu baselined, "
+                "%zu file(s) scanned\n",
+                fresh, old, files.size());
+    return fresh == 0 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+#
+# clang-tidy over the CMake compilation database, with a per-file
+# content-hash cache so CI stays fast: a translation unit is
+# re-checked only when it, any header under src/ or tools/, the
+# .clang-tidy profile, or the clang-tidy version changed. Point
+# actions/cache (or any persistent directory) at the cache dir and
+# warm runs check nothing at all.
+#
+#   usage: tools/lint/run_clang_tidy.sh [build-dir] [cache-dir]
+#
+# Scope: database entries under src/ and tools/ (tests and benches
+# lean on gtest internals that are not this profile's target). Exits
+# 0 when clean or when clang-tidy is not installed (local boxes),
+# 1 when any checked file fails, 2 on configuration errors.
+
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+CACHE_DIR=${2:-$BUILD_DIR/clang-tidy-cache}
+TIDY=${CLANG_TIDY:-clang-tidy}
+ROOT=$(cd "$(dirname "$0")/../.." && pwd)
+DB="$BUILD_DIR/compile_commands.json"
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "run_clang_tidy: $TIDY not found; skipping" \
+         "(install clang-tidy to enable this layer)" >&2
+    exit 0
+fi
+if [ ! -f "$DB" ]; then
+    echo "run_clang_tidy: $DB not found — configure first" \
+         "(CMAKE_EXPORT_COMPILE_COMMANDS is ON by default)" >&2
+    exit 2
+fi
+
+mkdir -p "$CACHE_DIR"
+
+# Cache salt: the profile, the tool version and every header a TU in
+# scope could include. A header edit conservatively re-checks all
+# files; the common CI case (docs/tests/bench-only changes) re-checks
+# none.
+SALT=$({ cat "$ROOT/.clang-tidy"; "$TIDY" --version;
+         find "$ROOT/src" "$ROOT/tools" -name '*.hh' -print0 \
+             | sort -z | xargs -0 cat; } | sha256sum | cut -d' ' -f1)
+
+mapfile -t FILES < <(python3 - "$DB" "$ROOT" <<'EOF'
+import json, sys
+db, root = sys.argv[1], sys.argv[2]
+seen = set()
+for entry in json.load(open(db)):
+    f = entry["file"]
+    if (f.startswith(root + "/src/") or f.startswith(root + "/tools/")) \
+            and f not in seen:
+        seen.add(f)
+        print(f)
+EOF
+)
+
+PENDING=()
+for f in "${FILES[@]}"; do
+    key=$(printf '%s %s\n' "$SALT" "$f" | cat - "$f" \
+              | sha256sum | cut -d' ' -f1)
+    if [ ! -f "$CACHE_DIR/$key" ]; then
+        PENDING+=("$key" "$f")
+    fi
+done
+
+echo "run_clang_tidy: ${#FILES[@]} file(s) in scope," \
+     "$((${#PENDING[@]} / 2)) to check (cache: $CACHE_DIR)"
+if [ ${#PENDING[@]} -eq 0 ]; then
+    echo "run_clang_tidy: clean (all cached)"
+    exit 0
+fi
+
+FAIL="$CACHE_DIR/failures.$$"
+: > "$FAIL"
+printf '%s\n' "${PENDING[@]}" \
+    | xargs -P "$(nproc)" -n 2 sh -c '
+        key=$0; f=$1
+        if "'"$TIDY"'" -p "'"$BUILD_DIR"'" --quiet "$f"; then
+            touch "'"$CACHE_DIR"'/$key"
+        else
+            echo "$f" >> "'"$FAIL"'"
+        fi'
+
+if [ -s "$FAIL" ]; then
+    echo "run_clang_tidy: findings in $(wc -l < "$FAIL") file(s):" >&2
+    sort "$FAIL" >&2
+    rm -f "$FAIL"
+    exit 1
+fi
+rm -f "$FAIL"
+echo "run_clang_tidy: clean"
