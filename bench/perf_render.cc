@@ -19,6 +19,13 @@
  * 1 is the serial two-phase pipeline; N>1 parallelizes phase 1. With
  * gate=1 the bench fails if the largest thread count is slower than
  * render_threads=1 (the CI perf-smoke contract).
+ *
+ * BENCH_PERF.json schema ("texpim-perf-v1"): each entry of "runs"
+ * holds render_threads, wall_sec, fps, wall_phase1_sec,
+ * wall_phase2_sec and record_bytes. The fused loop (render_threads=0)
+ * has no phase split, so its wall_phase*_sec fields are JSON null —
+ * never 0.0, which would read as "a phase took no time". Consumers
+ * (tools/perf_history) must treat null as "not applicable".
  */
 
 #include <chrono>
@@ -165,9 +172,15 @@ main(int argc, char **argv)
             pt.frameCycles = res.frame.frameCycles;
             pt.imageHash = imageHash(*res.image);
         }
-        std::printf("%8u %10.3f %8.2f %9.3f %9.3f %11.2f\n", pt.threads,
-                    pt.wallSec, 1.0 / pt.wallSec, pt.phase1Sec,
-                    pt.phase2Sec, double(pt.recordBytes) / (1024 * 1024));
+        if (t == 0)
+            std::printf("%8u %10.3f %8.2f %9s %9s %11.2f\n", pt.threads,
+                        pt.wallSec, 1.0 / pt.wallSec, "-", "-",
+                        double(pt.recordBytes) / (1024 * 1024));
+        else
+            std::printf("%8u %10.3f %8.2f %9.3f %9.3f %11.2f\n",
+                        pt.threads, pt.wallSec, 1.0 / pt.wallSec,
+                        pt.phase1Sec, pt.phase2Sec,
+                        double(pt.recordBytes) / (1024 * 1024));
         points.push_back(pt);
     }
 
@@ -208,8 +221,14 @@ main(int argc, char **argv)
         w.keyValue("render_threads", pt.threads);
         w.keyValue("wall_sec", pt.wallSec);
         w.keyValue("fps", 1.0 / pt.wallSec);
-        w.keyValue("wall_phase1_sec", pt.phase1Sec);
-        w.keyValue("wall_phase2_sec", pt.phase2Sec);
+        // The fused loop has no phases; null, not a misleading 0.0.
+        if (pt.threads == 0) {
+            w.keyNull("wall_phase1_sec");
+            w.keyNull("wall_phase2_sec");
+        } else {
+            w.keyValue("wall_phase1_sec", pt.phase1Sec);
+            w.keyValue("wall_phase2_sec", pt.phase2Sec);
+        }
         w.keyValue("record_bytes", pt.recordBytes);
         w.endObject();
     }

@@ -9,8 +9,15 @@
  *   texpim compare <game> [key=value ...]
  *   texpim frames  <game> <count> [key=value ...]
  *   texpim sweep   [game ...] [key=value ...]
+ *   texpim report  <game|trace.texpim> [key=value ...]
  *   texpim config  [key=value ...]
  *   texpim stats   [key=value ...]
+ *
+ * `report` renders all four designs with the cycle-domain profiler and
+ * traffic attribution enabled, and writes a self-contained markdown
+ * (or, with a .html report_out, HTML) report: phase breakdown, hot
+ * zones, off-chip traffic by class, per-texture/per-mip traffic and
+ * per-vault utilization timelines.
  *
  * `sweep` runs the full (design x game) grid — all four designs over
  * the listed games (default: all five paper games) — on a pool of
@@ -35,6 +42,12 @@
  *   trace_out=<file.json>       cycle-level Chrome trace-event file
  *                               (load in chrome://tracing or Perfetto)
  *   trace_cap=<N>               trace event cap (default 1000000)
+ *   prof=1                      enable the cycle-domain profiler
+ *   prof_out=<file.json>        zone-tree profile export (implies prof=1)
+ *   prof.epoch_cycles=<N>       utilization sampling period (default 65536)
+ *   prof.wall=1                 include host wall-clock fields in the
+ *                               profile/report (host-dependent!)
+ *   report_out=<file.md|.html>  report destination (report command)
  */
 
 #include <cstdio>
@@ -45,12 +58,15 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/prof/profiler.hh"
 #include "common/stat_export.hh"
 #include "common/stat_registry.hh"
 #include "common/trace_events.hh"
 #include "gpu/params.hh"
 #include "quality/image_metrics.hh"
 #include "scene/trace.hh"
+#include "sim/attribution/attribution.hh"
+#include "sim/attribution/report.hh"
 #include "sim/experiment.hh"
 #include "sim/runner/experiment_runner.hh"
 #include "sim/simulator.hh"
@@ -164,6 +180,51 @@ endTracing()
                 (unsigned long long)t.dropped());
 }
 
+/** Start the cycle-domain profiler when prof=1 or prof_out= asks. */
+void
+beginProfiling(const Config &cfg)
+{
+    if (!cfg.getBool("prof", false) &&
+        cfg.getString("prof_out", "").empty())
+        return;
+    Profiler::instance().enable(u64(cfg.getInt("prof.epoch_cycles", 0)));
+}
+
+/**
+ * Stop profiling and write `out` (schema "texpim-prof-v1"), with the
+ * last frame's traffic attribution embedded when available. The file
+ * is byte-identical across hosts and thread counts unless prof.wall=1
+ * adds the host wall-clock fields. Also replays the attribution's
+ * per-vault utilization timeline into the trace as counter events, so
+ * call this before endTracing().
+ */
+void
+endProfiling(const Config &cfg, const TrafficAttribution *attrib,
+             const std::string &out)
+{
+    Profiler &p = Profiler::instance();
+    if (!p.enabled())
+        return;
+    if (attrib != nullptr && TraceEvents::active())
+        attrib->emitCounters(TraceEvents::instance());
+    p.disable();
+    if (out.empty())
+        return;
+    JsonWriter w;
+    w.beginObject();
+    w.keyValue("schema", "texpim-prof-v1");
+    w.keyValue("epoch_cycles", p.epochCycles());
+    w.key("zones");
+    p.writeJson(w, cfg.getBool("prof.wall", false));
+    if (attrib != nullptr) {
+        w.key("attribution");
+        attrib->writeJson(w);
+    }
+    w.endObject();
+    writeTextFile(out, w.str());
+    std::printf("wrote %s\n", out.c_str());
+}
+
 bool
 isCsvPath(const std::string &path)
 {
@@ -205,7 +266,9 @@ cmdRender(int argc, char **argv)
     validateConfig(cfg);
     RenderingSimulator sim(sc);
     beginTracing(cfg);
+    beginProfiling(cfg);
     SimResult r = sim.renderScene(scene);
+    endProfiling(cfg, sim.attribution(), cfg.getString("prof_out", ""));
     endTracing();
     printResult(designName(sc.design), r);
     std::string stats_out = cfg.getString("stats_out", "");
@@ -243,13 +306,19 @@ cmdCompare(int argc, char **argv)
     validateConfig(cfg);
     beginTracing(cfg);
 
+    std::string prof_out = cfg.getString("prof_out", "");
     SimResult base;
     for (Design d : {Design::Baseline, Design::BPim, Design::STfim,
                      Design::ATfim}) {
         SimConfig sc = SimConfig::fromConfig(cfg);
         sc.design = d;
         RenderingSimulator sim(sc);
+        beginProfiling(cfg);
         SimResult r = sim.renderScene(scene);
+        endProfiling(cfg, sim.attribution(),
+                     prof_out.empty()
+                         ? prof_out
+                         : perDesignPath(prof_out, designName(d)));
         if (d == Design::Baseline)
             base = r;
         printResult(designName(d), r);
@@ -287,9 +356,13 @@ cmdFrames(int argc, char **argv)
     validateConfig(cfg);
     RenderingSimulator sim(sc);
     beginTracing(cfg);
+    beginProfiling(cfg);
     auto frames = sim.renderSequence(wl, count,
                                      unsigned(cfg.getInt("frame", 0)),
                                      u64(cfg.getInt("seed", 0x7e01d)));
+    // Like stats_out below, the profile reflects the final frame
+    // (zones accumulate across frames; attribution is per frame).
+    endProfiling(cfg, sim.attribution(), cfg.getString("prof_out", ""));
     endTracing();
     for (unsigned f = 0; f < frames.size(); ++f) {
         char tag[32];
@@ -438,6 +511,56 @@ cmdConfig(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Render all four designs with profiling + attribution on and emit a
+ * self-contained report: phase breakdown (the paper's Fig. 2 at
+ * per-mip grain), hot zones by self cycles, off-chip traffic by
+ * class, per-texture/per-mip traffic and per-vault utilization
+ * timelines. report_out= ending in .html selects the HTML rendering;
+ * anything else gets markdown.
+ */
+int
+cmdReport(int argc, char **argv)
+{
+    if (argc < 3)
+        TEXPIM_FATAL("usage: texpim report <game|trace> [key=value ...]");
+    Config cfg = collectConfig(argc, argv, 3);
+    Scene scene = loadScene(argv[2], cfg);
+    SimConfig::fromConfig(cfg); // query every sim key, then validate
+    validateConfig(cfg);
+    beginTracing(cfg);
+
+    bool wall = cfg.getBool("prof.wall", false);
+    u64 epoch = u64(cfg.getInt("prof.epoch_cycles", 0));
+    std::string prof_out = cfg.getString("prof_out", "");
+    ReportBuilder report(argv[2]);
+    for (Design d : {Design::Baseline, Design::BPim, Design::STfim,
+                     Design::ATfim}) {
+        SimConfig sc = SimConfig::fromConfig(cfg);
+        sc.design = d;
+        RenderingSimulator sim(sc);
+        Profiler::instance().enable(epoch);
+        SimResult r = sim.renderScene(scene);
+        TEXPIM_ASSERT(sim.attribution() != nullptr,
+                      "profiling was on, so the frame was attributed");
+        report.addDesign(designName(d), r, Profiler::instance(),
+                         *sim.attribution(), wall);
+        endProfiling(cfg, sim.attribution(),
+                     prof_out.empty()
+                         ? prof_out
+                         : perDesignPath(prof_out, designName(d)));
+        printResult(designName(d), r);
+    }
+    endTracing();
+
+    std::string out = cfg.getString("report_out", "texpim-report.md");
+    bool html = out.size() >= 5 &&
+                out.compare(out.size() - 5, 5, ".html") == 0;
+    writeTextFile(out, html ? report.html() : report.markdown());
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}
+
 int
 cmdStats(int argc, char **argv)
 {
@@ -491,7 +614,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: texpim "
-                     "<render|compare|frames|sweep|config|stats> ...\n");
+                     "<render|compare|frames|sweep|report|config|stats>"
+                     " ...\n");
         return 2;
     }
     std::string cmd = argv[1];
@@ -503,6 +627,8 @@ main(int argc, char **argv)
         return cmdFrames(argc, argv);
     if (cmd == "sweep")
         return cmdSweep(argc, argv);
+    if (cmd == "report")
+        return cmdReport(argc, argv);
     if (cmd == "config")
         return cmdConfig(argc, argv);
     if (cmd == "stats")

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/prof/profiler.hh"
 
 namespace texpim {
 
@@ -86,6 +87,7 @@ TagCache::victim(unsigned set)
 CacheOutcome
 TagCache::access(Addr addr)
 {
+    TEXPIM_PROF_COUNT(prof::kZoneTagCache, 1);
     Addr line = lineAddr(addr);
     unsigned set = unsigned((line / params_.lineBytes) % num_sets_);
     ++use_clock_;
@@ -108,6 +110,7 @@ TagCache::access(Addr addr)
 CacheOutcome
 TagCache::accessAngled(Addr addr, float angle_rad, float threshold_rad)
 {
+    TEXPIM_PROF_COUNT(prof::kZoneTagCache, 1);
     Addr line = lineAddr(addr);
     unsigned set = unsigned((line / params_.lineBytes) % num_sets_);
     ++use_clock_;

@@ -33,12 +33,14 @@ SimContext::Scope::Scope(SimContext &ctx) : prev_(tls_current)
 {
     tls_current = &ctx;
     TraceEvents::syncActive();
+    Profiler::syncActive();
 }
 
 SimContext::Scope::~Scope()
 {
     tls_current = prev_;
     TraceEvents::syncActive();
+    Profiler::syncActive();
 }
 
 } // namespace texpim

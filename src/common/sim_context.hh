@@ -36,6 +36,7 @@
 #define TEXPIM_COMMON_SIM_CONTEXT_HH
 
 #include "common/fault.hh"
+#include "common/prof/profiler.hh"
 #include "common/stat_registry.hh"
 #include "common/trace_events.hh"
 
@@ -62,10 +63,12 @@ class SimContext
     StatRegistry &stats() { return stats_; }
     TraceEvents &trace() { return trace_; }
     FaultRegistry &faults() { return faults_; }
+    Profiler &prof() { return prof_; }
 
     const StatRegistry &stats() const { return stats_; }
     const TraceEvents &trace() const { return trace_; }
     const FaultRegistry &faults() const { return faults_; }
+    const Profiler &prof() const { return prof_; }
 
     /**
      * RAII installer: makes `ctx` the calling thread's current context
@@ -89,6 +92,7 @@ class SimContext
     StatRegistry stats_;
     TraceEvents trace_;
     FaultRegistry faults_;
+    Profiler prof_;
 };
 
 } // namespace texpim

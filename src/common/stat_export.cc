@@ -143,6 +143,15 @@ JsonWriter::value(bool v)
 }
 
 JsonWriter &
+JsonWriter::nullValue()
+{
+    comma();
+    out_ += "null";
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(const std::string &v)
 {
     comma();

@@ -58,6 +58,17 @@ class JsonWriter
     JsonWriter &value(const std::string &v);
     JsonWriter &value(const char *v);
 
+    /** Emit a JSON null ("this metric was not measured", as opposed
+     *  to a measured zero). */
+    JsonWriter &nullValue();
+
+    JsonWriter &
+    keyNull(const std::string &k)
+    {
+        key(k);
+        return nullValue();
+    }
+
     template <typename T>
     JsonWriter &
     keyValue(const std::string &k, const T &v)

@@ -32,17 +32,29 @@
  *                overlapping work (texture requests in flight, DRAM
  *                accesses).
  *  - instant():  a point event ("i").
- *  - counter():  a "C" counter track sample.
+ *  - counter():  a "C" counter track sample. counterNamed() takes a
+ *                runtime-built track name (e.g. per-vault utilization
+ *                tracks), interned by the tracer.
+ *  - flowBegin()/flowEnd(): an "s"/"f" flow-arrow pair tied by a
+ *                numeric id, drawn by the viewers as an arrow from the
+ *                producing event to the consuming one (used to link a
+ *                tile's phase-1 record stream to its phase-2 replay).
  *
  * Events are buffered in memory and written as one JSON document when
- * the tracer is disabled (or flushed); an event cap bounds the buffer,
- * with the overflow counted in dropped(). Category and name strings
- * must be string literals (the tracer stores the pointers).
+ * the tracer is disabled (or flushed); an event cap bounds the buffer.
+ * Overflow is never silent: dropped events are counted in dropped(),
+ * surfaced as a `trace.dropped_events` statistic when the tracer is
+ * disabled, and the JSON document carries both an
+ * otherData.dropped_events field and a final "event_cap_truncated"
+ * instant record. Category and name strings must be string literals
+ * (the tracer stores the pointers) unless the *Named variant is used.
  */
 
 #ifndef TEXPIM_COMMON_TRACE_EVENTS_HH
 #define TEXPIM_COMMON_TRACE_EVENTS_HH
 
+#include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,12 +66,15 @@
 
 namespace texpim {
 
+class StatGroup;
+
 class TraceEvents
 {
   public:
     static constexpr u64 kDefaultEventCap = 1'000'000;
 
     TraceEvents() = default;
+    ~TraceEvents(); // out of line: StatGroup is incomplete here
 
     TraceEvents(const TraceEvents &) = delete;
     TraceEvents &operator=(const TraceEvents &) = delete;
@@ -88,7 +103,11 @@ class TraceEvents
     void enable(const std::string &path,
                 u64 max_events = kDefaultEventCap);
 
-    /** Stop recording and write the trace file (no-op when idle). */
+    /**
+     * Stop recording and write the trace file (no-op when idle). When
+     * the event cap truncated the trace, the drop count is published
+     * as the `trace.dropped_events` statistic of the current context.
+     */
     void disable();
 
     /** Write the current buffer to the output path without stopping. */
@@ -108,29 +127,50 @@ class TraceEvents
     void instant(const char *cat, const char *name, u32 tid, Cycle ts);
     void counter(const char *cat, const char *name, Cycle ts, double value);
 
+    /** counter() with a runtime-built track name; the name is interned
+     *  by this tracer (per-vault/per-texture utilization tracks). */
+    void counterNamed(const char *cat, const std::string &name, Cycle ts,
+                      double value);
+
+    /** Flow-arrow start: the producing end, tied to flowEnd by `id`. */
+    void flowBegin(const char *cat, const char *name, u32 tid, Cycle ts,
+                   u64 id);
+    /** Flow-arrow end: the consuming end (Chrome "f", bp=e). */
+    void flowEnd(const char *cat, const char *name, u32 tid, Cycle ts,
+                 u64 id);
+
   private:
     struct Event
     {
-        char ph;         //!< 'B', 'E', 'X', 'i' or 'C'
+        char ph;         //!< 'B', 'E', 'X', 'i', 'C', 's' or 'f'
         u32 tid;
         const char *cat; //!< literal; not owned
-        const char *name;
+        const char *name; //!< literal or interned in names_
         u64 ts;
         u64 dur;         //!< 'X' only
         double value;    //!< 'C' only
+        u64 id;          //!< 's'/'f' flow-binding id
     };
 
     bool reserve(u64 n);
+
+    /** Intern a runtime-built name (stable storage for Event::name). */
+    const char *intern(const std::string &name);
 
     /** Thread-local mirror of the current context's tracer enabled_
      *  flag — one branch on the macro fast path, per thread. */
     inline static thread_local bool active_ = false;
 
     std::vector<Event> events_;
+    std::deque<std::string> names_; //!< interned counterNamed tracks
     std::string path_;
     u64 cap_ = kDefaultEventCap;
     u64 dropped_ = 0;
     bool enabled_ = false;
+    /** Owns the `trace.dropped_events` stat; created lazily on the
+     *  first enable() so construction never touches the (possibly
+     *  still-constructing) owning SimContext's registry. */
+    std::unique_ptr<StatGroup> stats_;
 };
 
 } // namespace texpim
@@ -165,12 +205,28 @@ class TraceEvents
                                                       (value)); \
     } while (0)
 
+#define TEXPIM_TRACE_FLOW_BEGIN(cat, name, tid, ts, id) \
+    do { \
+        if (::texpim::TraceEvents::active()) \
+            ::texpim::TraceEvents::instance().flowBegin((cat), (name), \
+                                                        (tid), (ts), (id)); \
+    } while (0)
+
+#define TEXPIM_TRACE_FLOW_END(cat, name, tid, ts, id) \
+    do { \
+        if (::texpim::TraceEvents::active()) \
+            ::texpim::TraceEvents::instance().flowEnd((cat), (name), (tid), \
+                                                      (ts), (id)); \
+    } while (0)
+
 #else
 
 #define TEXPIM_TRACE_SPAN(cat, name, tid, begin, end) ((void)0)
 #define TEXPIM_TRACE_COMPLETE(cat, name, tid, ts, dur) ((void)0)
 #define TEXPIM_TRACE_INSTANT(cat, name, tid, ts) ((void)0)
 #define TEXPIM_TRACE_COUNTER(cat, name, ts, value) ((void)0)
+#define TEXPIM_TRACE_FLOW_BEGIN(cat, name, tid, ts, id) ((void)0)
+#define TEXPIM_TRACE_FLOW_END(cat, name, tid, ts, id) ((void)0)
 
 #endif // TEXPIM_TRACING
 

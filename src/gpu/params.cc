@@ -63,8 +63,10 @@ knownConfigKeys()
     static const std::vector<std::string> keys = {
         // Scene / workload (CLI).
         "compress", "design", "disable_aniso", "frame", "height",
-        "jobs", "max_aniso", "metrics_out", "out", "seed", "stats_out",
-        "strict_config", "trace_cap", "trace_out", "width",
+        "jobs", "max_aniso", "metrics_out", "out", "prof",
+        "prof.epoch_cycles", "prof.wall", "prof_out", "report_out",
+        "seed", "stats_out", "strict_config", "trace_cap", "trace_out",
+        "width",
 
         // A-TFIM approximation.
         "atfim.angle_threshold_rad",

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/prof/profiler.hh"
 #include "common/trace_events.hh"
 #include "gpu/replay.hh"
 
@@ -281,6 +282,8 @@ Renderer::scheduleLoop(FrameCtx &ctx, FrameStats &fs, TileBody &&body)
         ctx.clusterTime[cluster] =
             std::max(w.aluFrontier + kill_cycles, w.issueFrontier);
 
+        TEXPIM_PROF_CYCLES(prof::kZoneSchedule,
+                           ctx.clusterTime[cluster] - tile_start);
         stats_.histogram("tile_cycles", 0.0, 65536.0, 64)
             .sample(double(ctx.clusterTime[cluster] - tile_start));
         TEXPIM_TRACE_SPAN("raster", "tile", cluster, tile_start,
@@ -589,7 +592,10 @@ Renderer::replayPhase(FrameCtx &ctx, FrameStats &fs)
 
     scheduleLoop(ctx, fs, [&](unsigned cluster, u32 ti, Cycle tile_start,
                               TileWork &w) {
-        (void)tile_start;
+        // Consuming end of the record-stream flow arrow (the producing
+        // "s" event is emitted after recordPhase joins its workers).
+        TEXPIM_TRACE_FLOW_END("replay", "tile_stream", cluster, tile_start,
+                              ti);
         const TileRecord &rec = ctx.records[ti];
         fs.hierZTrianglesSkipped += rec.hierZSkipped;
 
@@ -653,6 +659,8 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
                       fb.height() == scene.settings.height,
                   "framebuffer does not match scene resolution");
 
+    TEXPIM_PROF_SCOPE(prof::kZoneFrame); // wall-clock only (D1)
+
     FrameStats fs;
     fb.clear();
     z_cache_.invalidateAll();
@@ -661,7 +669,10 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
     mem_.beginFrame();
 
     FrameCtx ctx(scene, fb);
-    ctx.geomEnd = geometryPhase(scene, ctx.tris, fs);
+    {
+        TEXPIM_PROF_SCOPE(prof::kZoneGeometry);
+        ctx.geomEnd = geometryPhase(scene, ctx.tris, fs);
+    }
     fs.geometryCycles = ctx.geomEnd;
     // Track (tid) layout: 0..clusters-1 raster tiles, 100+ texture
     // path, 200+ DRAM, 300+ PIM logic, 1000/1001 frame and geometry.
@@ -719,12 +730,28 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
             params_.shadersPerCluster);
 
     if (params_.renderThreads == 0) {
+        TEXPIM_PROF_SCOPE(prof::kZoneReplay); // fused: one timing pass
         fusedLoop(ctx, fs);
     } else {
         double t0 = wallSeconds();
-        recordPhase(ctx);
+        {
+            TEXPIM_PROF_SCOPE(prof::kZoneSample);
+            recordPhase(ctx);
+        }
         double t1 = wallSeconds();
-        replayPhase(ctx, fs);
+        // Producing end of the per-tile record-stream flow arrows,
+        // emitted on the coordinating thread after the workers joined
+        // (the workers carry no tracer context, rule D2); the "f" ends
+        // are emitted at each tile's replay start.
+        if (TraceEvents::active())
+            for (u32 ti = 0; ti < ctx.bins.size(); ++ti)
+                if (!ctx.bins[ti].empty())
+                    TEXPIM_TRACE_FLOW_BEGIN("replay", "tile_stream", 1001,
+                                            ctx.geomEnd, ti);
+        {
+            TEXPIM_PROF_SCOPE(prof::kZoneReplay);
+            replayPhase(ctx, fs);
+        }
         fs.wallPhase2Sec = wallSeconds() - t1;
         fs.wallPhase1Sec = t1 - t0;
         for (const TileRecord &rec : ctx.records)
@@ -765,6 +792,15 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
     stats_.counter("fragments_early_z_killed") += fs.fragmentsEarlyZKilled;
     stats_.counter("triangles_setup") += fs.trianglesSetup;
     stats_.counter("hier_z_skipped") += fs.hierZTrianglesSkipped;
+
+    // Deterministic cycle/count charges, all from this (coordinating)
+    // thread so the profile is identical across gpu.render_threads and
+    // jobs settings (rule D2). The fused loop and the two-phase path
+    // charge the same quantities.
+    TEXPIM_PROF_CYCLES(prof::kZoneFrame, frame_end);
+    TEXPIM_PROF_CYCLES(prof::kZoneGeometry, ctx.geomEnd);
+    TEXPIM_PROF_CYCLES(prof::kZoneReplay, frame_end - ctx.geomEnd);
+    TEXPIM_PROF_COUNT(prof::kZoneSample, fs.texRequests);
 
     TEXPIM_TRACE_SPAN("frame", "render_frame", 1000, 0, frame_end);
     TEXPIM_TRACE_COUNTER("frame", "frame_cycles", frame_end,

@@ -99,6 +99,8 @@ Gddr5Memory::access(const MemRequest &req)
     Cycle done = Cycle(std::ceil(bus_start + bus_time));
 
     countOffChip(req.cls, req.bytes);
+    notifyTraffic(TrafficChannel::OffChip, req.cls, req.addr, req.bytes,
+                  int(fold % params_.channels), req.issue);
     ++stats_.counter(req.op == MemOp::Read ? "reads" : "writes");
     switch (outcome) {
       case RowBufferOutcome::Hit:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/prof/profiler.hh"
 #include "common/trace_events.hh"
 #include "common/units.hh"
 
@@ -135,14 +136,34 @@ HmcMemory::cubeOf(Addr addr) const
     return unsigned(fold % params_.cubes);
 }
 
+unsigned
+HmcMemory::vaultIndexOf(Addr addr) const
+{
+    // 256 B vault interleave with the same XOR fold as the GDDR5
+    // channel map (power-of-two stride robustness).
+    constexpr u64 interleave = 256;
+    u64 granule = addr / interleave;
+    u64 fold = granule ^ (granule >> 7) ^ (granule >> 13);
+    return unsigned(fold % params_.vaults);
+}
+
+unsigned
+HmcMemory::globalVaultOf(Addr addr) const
+{
+    return cubeOf(addr) * params_.vaults + vaultIndexOf(addr);
+}
+
 double
 HmcMemory::sendPacket(Cube &cube, Link &link, double now, u64 bytes,
                       double bytes_per_cyc)
 {
     double done = reserveBandwidth(link.res, now, bytes, bytes_per_cyc);
     ++cube.linkPackets;
-    if (!link.inj.enabled())
-        return done; // faults off: the whole fault path is this check
+    if (!link.inj.enabled()) {
+        // Faults off: the whole fault path is the check above.
+        TEXPIM_PROF_CYCLES(prof::kZoneHmcLink, u64(done - now));
+        return done;
+    }
     unsigned attempt = 0;
     while (link.inj.fire()) {
         ++attempt;
@@ -174,6 +195,7 @@ HmcMemory::sendPacket(Cube &cube, Link &link, double now, u64 bytes,
         link.retrySlots[link.head] = done;
         link.head = (link.head + 1) % link.retrySlots.size();
     }
+    TEXPIM_PROF_CYCLES(prof::kZoneHmcLink, u64(done - now));
     return done;
 }
 
@@ -201,15 +223,12 @@ HmcMemory::vaultAccess(Addr addr, u64 bytes, Cycle start,
 {
     Cube &cube = cubes_[cubeOf(addr)];
 
-    // 256 B vault interleave with the same XOR fold as the GDDR5
-    // channel map (power-of-two stride robustness).
-    constexpr u64 interleave = 256;
-    u64 granule = addr / interleave;
-    u64 fold = granule ^ (granule >> 7) ^ (granule >> 13);
-    unsigned vidx = unsigned(fold % params_.vaults);
+    unsigned vidx = vaultIndexOf(addr);
     auto &vault = cube.vaults[vidx];
 
     // Same fine bank interleave as the GDDR5 map (see gddr5.cc).
+    constexpr u64 interleave = 256;
+    u64 granule = addr / interleave;
     u64 above = granule / params_.vaults;
     unsigned bank_idx =
         unsigned((above ^ (above >> 3)) % params_.banksPerVault);
@@ -245,6 +264,7 @@ HmcMemory::vaultAccess(Addr addr, u64 bytes, Cycle start,
 
     Cycle done = Cycle(std::ceil(agg_done)) + params_.tsvLatency +
                  params_.switchLatency;
+    TEXPIM_PROF_CYCLES(prof::kZoneHmcVault, done - start);
     TEXPIM_TRACE_COMPLETE("dram", "vault_access", 200 + vidx, start,
                           done - start);
     return done;
@@ -298,6 +318,10 @@ HmcMemory::access(const MemRequest &req)
     // packages (hostToDevice/deviceToHost) count in full instead.
     countOffChip(req.cls, req.bytes);
     internal_.add(req.cls, req.bytes);
+    notifyTraffic(TrafficChannel::OffChip, req.cls, req.addr, req.bytes,
+                  int(globalVaultOf(req.addr)), req.issue);
+    notifyTraffic(TrafficChannel::Internal, req.cls, req.addr, req.bytes,
+                  int(globalVaultOf(req.addr)), req.issue);
     ++stats_.counter(is_read ? "reads" : "writes");
     switch (outcome) {
       case RowBufferOutcome::Hit:
@@ -326,6 +350,8 @@ HmcMemory::internalAccess(const MemRequest &req)
     Cycle done = vaultAccess(req.addr, req.bytes, req.issue, outcome);
 
     internal_.add(req.cls, req.bytes);
+    notifyTraffic(TrafficChannel::Internal, req.cls, req.addr, req.bytes,
+                  int(globalVaultOf(req.addr)), req.issue);
     ++stats_.counter(req.op == MemOp::Read ? "internal_reads"
                                            : "internal_writes");
     stats_.average("internal_latency").sample(double(done - req.issue));
@@ -340,9 +366,16 @@ HmcMemory::hostToDevice(u64 bytes, TrafficClass cls, Cycle now,
     Cube &cube = cubes_[cubeOf(route_addr)];
     double done = sendPacket(cube, cube.tx, double(now), bytes, tx_bw_);
     countOffChip(cls, bytes);
+    // Package bytes are off-chip bytes: the OffChip row mirrors
+    // countOffChip exactly (the accounting identity); PkgToDevice
+    // keeps the per-direction breakdown on top.
+    notifyTraffic(TrafficChannel::OffChip, cls, route_addr, bytes, -1, now);
+    notifyTraffic(TrafficChannel::PkgToDevice, cls, route_addr, bytes, -1,
+                  now);
     ++stats_.counter("packages_to_device");
     Cycle arrive = Cycle(std::ceil(done)) + params_.linkLatency;
     notePackageDeadline(deadline, arrive);
+    TEXPIM_PROF_CYCLES(prof::kZonePimPackage, arrive - now);
     TEXPIM_TRACE_COMPLETE("pim", "pkg_to_device", 300, now, arrive - now);
     return arrive;
 }
@@ -355,9 +388,14 @@ HmcMemory::deviceToHost(u64 bytes, TrafficClass cls, Cycle now,
     Cube &cube = cubes_[cubeOf(route_addr)];
     double done = sendPacket(cube, cube.rx, double(now), bytes, rx_bw_);
     countOffChip(cls, bytes);
+    // Mirror countOffChip on the OffChip row, as in hostToDevice.
+    notifyTraffic(TrafficChannel::OffChip, cls, route_addr, bytes, -1, now);
+    notifyTraffic(TrafficChannel::PkgToHost, cls, route_addr, bytes, -1,
+                  now);
     ++stats_.counter("packages_to_host");
     Cycle arrive = Cycle(std::ceil(done)) + params_.linkLatency;
     notePackageDeadline(deadline, arrive);
+    TEXPIM_PROF_CYCLES(prof::kZonePimPackage, arrive - now);
     TEXPIM_TRACE_COMPLETE("pim", "pkg_to_host", 301, now, arrive - now);
     return arrive;
 }

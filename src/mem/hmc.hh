@@ -116,6 +116,14 @@ class HmcMemory : public MemorySystem
     /** Internal (in-cube) traffic meter, for reports. */
     const TrafficMeter &internalTraffic() const { return internal_; }
 
+    /**
+     * Global vault index of an address: cube * vaults + in-cube vault,
+     * using the same interleave folds the timing path routes with.
+     * This is the lane attribution observations report (traffic_sink.hh)
+     * and the index of the per-vault utilization timelines.
+     */
+    unsigned globalVaultOf(Addr addr) const;
+
     double
     peakOffChipBytesPerCycle() const override
     {
@@ -158,6 +166,9 @@ class HmcMemory : public MemorySystem
 
     /** Which cube owns an address (1 MiB interleave). */
     unsigned cubeOf(Addr addr) const;
+
+    /** In-cube vault index (256 B interleave, XOR-folded). */
+    unsigned vaultIndexOf(Addr addr) const;
 
     /** Route an access through switch + vault; returns data-ready cycle. */
     Cycle vaultAccess(Addr addr, u64 bytes, Cycle start,

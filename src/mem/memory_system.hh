@@ -17,6 +17,7 @@
 
 #include "common/stats.hh"
 #include "mem/request.hh"
+#include "mem/traffic_sink.hh"
 
 namespace texpim {
 
@@ -59,6 +60,16 @@ class MemorySystem
     /** Off-chip traffic (between host GPU and the memory device). */
     const TrafficMeter &offChipTraffic() const { return off_chip_; }
 
+    /**
+     * Install (or clear, with nullptr) the traffic-observation sink.
+     * The model reports every metered byte to the sink from the same
+     * call sites that charge the meters — see traffic_sink.hh for the
+     * accounting-identity contract. The sink must outlive the model
+     * or be cleared first.
+     */
+    void setTrafficSink(TrafficSink *sink) { sink_ = sink; }
+    TrafficSink *trafficSink() const { return sink_; }
+
     /** Peak off-chip bandwidth in bytes per core cycle (for reports). */
     virtual double peakOffChipBytesPerCycle() const = 0;
 
@@ -74,10 +85,20 @@ class MemorySystem
         off_chip_.add(cls, bytes);
     }
 
+    /** Report a metered transfer to the sink, if one is installed. */
+    void
+    notifyTraffic(TrafficChannel channel, TrafficClass cls, Addr addr,
+                  u64 bytes, int lane, Cycle at)
+    {
+        if (sink_ != nullptr)
+            sink_->onTraffic({channel, cls, addr, bytes, lane, at});
+    }
+
     StatGroup stats_;
 
   private:
     TrafficMeter off_chip_;
+    TrafficSink *sink_ = nullptr;
 };
 
 } // namespace texpim

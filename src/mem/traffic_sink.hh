@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Byte-accurate traffic observation interface for attribution.
+ *
+ * A MemorySystem can be given one TrafficSink; when set, the model
+ * reports every byte it also charges to its traffic meters — same
+ * call site, same byte count — so a sink that sums its observations
+ * reproduces offChipTraffic() exactly (the accounting identity the
+ * attribution tests assert). With no sink installed the hook is a
+ * single null-pointer check.
+ *
+ * Observations carry the routing address so a sink can resolve them
+ * to higher-level entities (texture id, mip level — see
+ * sim/attribution/attribution.hh), and the lane the bytes crossed:
+ * the HMC global vault index (cube * vaults + vault) or the GDDR5
+ * channel index. Link-level PIM packages report lane -1; they cross a
+ * serial link, not a vault.
+ *
+ * All observations are made from the serial timing phase of a frame
+ * (rule D2): a sink needs no locking and sees a deterministic
+ * observation order for a given scene and configuration.
+ */
+
+#ifndef TEXPIM_MEM_TRAFFIC_SINK_HH
+#define TEXPIM_MEM_TRAFFIC_SINK_HH
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace texpim {
+
+/** Which accounting channel the bytes were charged to. */
+enum class TrafficChannel : u8 {
+    OffChip,     //!< host <-> memory device payload (off_chip_ meter)
+    Internal,    //!< in-stack vault traffic (HMC internal_ meter)
+    PkgToDevice, //!< PIM offload package, full package bytes
+    PkgToHost,   //!< PIM response package, full package bytes
+};
+
+inline constexpr unsigned kNumTrafficChannels = 4;
+
+/** Short printable name for a traffic channel. */
+inline const char *
+trafficChannelName(TrafficChannel c)
+{
+    switch (c) {
+      case TrafficChannel::OffChip: return "off_chip";
+      case TrafficChannel::Internal: return "internal";
+      case TrafficChannel::PkgToDevice: return "pkg_to_device";
+      case TrafficChannel::PkgToHost: return "pkg_to_host";
+    }
+    return "?";
+}
+
+/** One observed transfer, reported as its bytes are metered. */
+struct TrafficObs
+{
+    TrafficChannel channel = TrafficChannel::OffChip;
+    TrafficClass cls = TrafficClass::Texture;
+    Addr addr = 0;  //!< routing address (package route address for pkgs)
+    u64 bytes = 0;  //!< exactly what the matching meter was charged
+    int lane = -1;  //!< global vault / channel index; -1 = link-level
+    Cycle at = 0;   //!< issue cycle (deterministic, not completion)
+};
+
+class TrafficSink
+{
+  public:
+    virtual ~TrafficSink() = default;
+    virtual void onTraffic(const TrafficObs &obs) = 0;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_MEM_TRAFFIC_SINK_HH

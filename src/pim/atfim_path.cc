@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/prof/profiler.hh"
 #include "common/trace_events.hh"
 
 namespace texpim {
@@ -341,6 +342,8 @@ AtfimTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
                                       TrafficClass::PimPackage, done,
                                       route, deadline);
 
+                TEXPIM_PROF_CYCLES(prof::kZonePimPackage,
+                                   back - offload_at);
                 TEXPIM_TRACE_COMPLETE("pim", "atfim_offload",
                                       320 + req.clusterId, offload_at,
                                       back - offload_at);

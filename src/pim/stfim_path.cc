@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/prof/profiler.hh"
 #include "common/trace_events.hh"
 
 namespace texpim {
@@ -193,6 +194,7 @@ StfimTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
     stats_.counter("packages") += 2;
     stats_.counter("addr_ops") += texels;
     stats_.counter("filter_ops") += rec.filterOps;
+    TEXPIM_PROF_CYCLES(prof::kZonePimPackage, filtered_at - start);
     TEXPIM_TRACE_COMPLETE("pim", "mtu_filter", 320 + req.clusterId, start,
                           filtered_at - start);
     recordRequest(req.wanted ? req.wanted : req.issue, complete);

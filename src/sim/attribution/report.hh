@@ -1,0 +1,92 @@
+/**
+ * @file
+ * `texpim report` renderer: turns a profiled run (zone tree, traffic
+ * attribution, per-vault timelines, frame results) into a
+ * self-contained markdown or HTML document.
+ *
+ * The builder copies everything it needs when a design section is
+ * added, so the caller may reset the profiler and attribution between
+ * designs. Output is deterministic: tables follow the zone-table /
+ * attribution-key order and all numbers are formatted with fixed
+ * precision, so a report from the same scene and configuration is
+ * byte-identical across hosts and thread counts — unless wall-clock
+ * sections are explicitly requested (prof.wall=1).
+ */
+
+#ifndef TEXPIM_SIM_ATTRIBUTION_REPORT_HH
+#define TEXPIM_SIM_ATTRIBUTION_REPORT_HH
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/prof/profiler.hh"
+#include "mem/request.hh"
+
+namespace texpim {
+
+class TrafficAttribution;
+struct SimResult;
+
+class ReportBuilder
+{
+  public:
+    /** @param title report heading (scene / resolution line) */
+    explicit ReportBuilder(std::string title);
+
+    /**
+     * Snapshot one design's run into a report section.
+     * @param include_wall add host wall-clock columns (makes the
+     *        report host-dependent; off by default)
+     */
+    void addDesign(const std::string &design, const SimResult &result,
+                   const Profiler &prof, const TrafficAttribution &attrib,
+                   bool include_wall = false);
+
+    /** Render all sections as one markdown document. */
+    std::string markdown() const;
+
+    /** The same document wrapped as a self-contained HTML page. */
+    std::string html() const;
+
+  private:
+    struct ZoneLine
+    {
+        const char *name;
+        const char *desc;
+        u64 count;
+        u64 cycles;
+        u64 self;
+        double wallSec;
+    };
+
+    struct TexMipLine
+    {
+        int tex;
+        int mip;
+        u64 bytes;
+    };
+
+    struct Section
+    {
+        std::string design;
+        u64 frameCycles;
+        u64 geometryCycles;
+        std::array<u64, kNumTrafficClasses> offChipByClass;
+        u64 offChipTotal;
+        std::vector<ZoneLine> zones;   //!< zone-table order
+        std::vector<TexMipLine> texMip; //!< off-chip, (tex, mip) order
+        std::map<int, std::vector<std::pair<u64, u64>>>
+            laneTimeline; //!< lane -> (epoch, bytes), epoch-sorted
+        u64 epochCycles;
+        bool includeWall;
+    };
+
+    std::string title_;
+    std::vector<Section> sections_;
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_SIM_ATTRIBUTION_REPORT_HH

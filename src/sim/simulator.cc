@@ -1,9 +1,11 @@
 #include "sim/simulator.hh"
 
 #include "common/logging.hh"
+#include "common/prof/profiler.hh"
 #include "common/sim_context.hh"
 #include "common/stat_export.hh"
 #include "gpu/host_texture_path.hh"
+#include "sim/attribution/attribution.hh"
 
 namespace texpim {
 
@@ -198,6 +200,19 @@ RenderingSimulator::renderOnce(const Scene &scene)
         else if (frame_scene.settings.filterMode ==
                  FilterMode::TrilinearEwa)
             frame_scene.settings.filterMode = FilterMode::Trilinear;
+    }
+
+    // Profiling on => attribute this frame's traffic. A fresh sink per
+    // frame keeps attribution aligned with the per-frame meters the
+    // accounting-identity tests compare against.
+    if (Profiler::active()) {
+        attrib_ = std::make_unique<TrafficAttribution>(
+            designName(cfg_.design), Profiler::instance().epochCycles());
+        attrib_->mapTextures(*frame_scene.textures);
+        mem_->setTrafficSink(attrib_.get());
+    } else {
+        mem_->setTrafficSink(nullptr);
+        attrib_.reset();
     }
 
     SimResult r;

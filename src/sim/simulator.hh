@@ -83,6 +83,7 @@ class JsonWriter;
 void writeSimResultJson(JsonWriter &w, const SimResult &r);
 
 class SimContext;
+class TrafficAttribution;
 
 class RenderingSimulator
 {
@@ -128,6 +129,15 @@ class RenderingSimulator
     /** Renderer statistics of the last renderScene call. */
     StatGroup &rendererStats() { return renderer_->stats(); }
 
+    /**
+     * Traffic attribution of the last rendered frame, or nullptr.
+     * Attribution is collected automatically whenever the profiler is
+     * enabled (Profiler::active()) when a frame starts: the memory
+     * system's TrafficSink is pointed at a fresh TrafficAttribution
+     * mapped over the scene's textures.
+     */
+    const TrafficAttribution *attribution() const { return attrib_.get(); }
+
   private:
     void build();
 
@@ -141,6 +151,7 @@ class RenderingSimulator
     std::unique_ptr<HmcMemory> hmc_;
     std::unique_ptr<TexturePath> tex_path_;
     std::unique_ptr<Renderer> renderer_;
+    std::unique_ptr<TrafficAttribution> attrib_;
     MemorySystem *mem_ = nullptr;
 };
 

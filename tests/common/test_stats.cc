@@ -188,5 +188,47 @@ TEST(StatGroup, DescriptionsRecordedOnFirstMention)
     EXPECT_EQ(g.description("c"), "counts things");
 }
 
+TEST(StatHistogram, PercentileClampsOutOfRangeP)
+{
+    StatHistogram h(0.0, 10.0, 10);
+    h.sample(3.5);
+    // One sample: every percentile — including p outside [0, 1],
+    // which clamps to the ends — returns the single observed value.
+    for (double p : {-1.0, 0.0, 0.5, 1.0, 2.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), 3.5) << "p=" << p;
+}
+
+TEST(StatHistogram, ResetRestoresTheEmptyContract)
+{
+    StatHistogram h(0.0, 10.0, 10);
+    h.sample(2.5);
+    h.sample(7.5);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    // The histogram keeps working after reset: fresh samples define
+    // fresh bounds, unpolluted by pre-reset extremes.
+    h.sample(9.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 9.5);
+    EXPECT_DOUBLE_EQ(h.min(), 9.5);
+    EXPECT_DOUBLE_EQ(h.max(), 9.5);
+}
+
+TEST(StatHistogram, SaturatedSamplesClampPercentilesToRawExtremes)
+{
+    // Out-of-bounds samples land in the edge buckets but record their
+    // raw values as min/max, which bound every percentile: the
+    // interpolated in-bucket value (<= hi) clamps UP to the raw min.
+    StatHistogram h(0.0, 10.0, 10);
+    for (unsigned i = 0; i < 10; ++i)
+        h.sample(100.0); // all saturate into the last bucket
+    EXPECT_DOUBLE_EQ(h.min(), 100.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    for (double p : {0.0, 0.5, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), 100.0) << "p=" << p;
+}
+
 } // namespace
 } // namespace texpim

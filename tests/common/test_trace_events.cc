@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/stat_export.hh"
+#include "common/stat_registry.hh"
 #include "common/trace_events.hh"
 
 namespace texpim {
@@ -149,6 +150,70 @@ TEST_F(TraceEventsTest, ReenableResetsBufferAndDropCount)
     t.enable("", 10);
     EXPECT_EQ(t.recorded(), 0u);
     EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST_F(TraceEventsTest, DisableFoldsDropCountIntoTheStatRegistry)
+{
+    TraceEvents &t = TraceEvents::instance();
+    t.enable("", 1);
+    StatRegistry::Snapshot before = StatRegistry::instance().snapshot();
+    t.instant("c", "a", 0, 0);
+    t.instant("c", "b", 0, 1); // dropped
+    t.instant("c", "c", 0, 2); // dropped
+    t.disable();
+
+    // The drop total survives the tracer's death as a registry
+    // counter, so stats exports show the truncation.
+    StatRegistry::Snapshot d = StatRegistry::instance().delta(before);
+    double folded = 0.0;
+    for (const auto &[key, v] : d)
+        if (key.find("dropped_events") != std::string::npos)
+            folded += v;
+    EXPECT_DOUBLE_EQ(folded, 2.0);
+}
+
+TEST_F(TraceEventsTest, TruncationAppendsAGlobalInstantMarker)
+{
+    TraceEvents &t = TraceEvents::instance();
+    t.enable("", 2);
+    t.instant("c", "a", 0, 10);
+    t.instant("c", "b", 0, 20);
+    t.instant("c", "late", 0, 30); // dropped
+
+    json::Value doc = json::parse(t.toJson());
+    const auto &evs = doc.at("traceEvents").array;
+    ASSERT_EQ(evs.size(), 3u); // 2 recorded + the marker
+    const json::Value &m = evs.back();
+    EXPECT_EQ(m.at("ph").string, "i");
+    EXPECT_EQ(m.at("name").string, "event_cap_truncated");
+    EXPECT_EQ(m.at("s").string, "g"); // global-scoped: always visible
+    // Anchored at the last recorded event so it lands in view.
+    EXPECT_DOUBLE_EQ(m.at("ts").number, 20.0);
+    EXPECT_DOUBLE_EQ(m.at("args").at("dropped_events").number, 1.0);
+}
+
+TEST_F(TraceEventsTest, FlowAndNamedCounterEventShapes)
+{
+    TraceEvents &t = TraceEvents::instance();
+    t.enable("", 100);
+    t.flowBegin("phase", "tile", 1, 10, 42);
+    t.flowEnd("phase", "tile", 2, 50, 42);
+    t.counterNamed("util", "vault3.bytes", 64, 4096.0);
+
+    json::Value doc = json::parse(t.toJson());
+    const auto &evs = doc.at("traceEvents").array;
+    ASSERT_EQ(evs.size(), 3u);
+    // Flow start/finish pair sharing the id that links them.
+    EXPECT_EQ(evs[0].at("ph").string, "s");
+    EXPECT_DOUBLE_EQ(evs[0].at("id").number, 42.0);
+    EXPECT_EQ(evs[1].at("ph").string, "f");
+    EXPECT_DOUBLE_EQ(evs[1].at("id").number, 42.0);
+    EXPECT_EQ(evs[1].at("bp").string, "e"); // bind to enclosing slice
+    // Runtime-named counter sample ("C") with its interned name.
+    EXPECT_EQ(evs[2].at("ph").string, "C");
+    EXPECT_EQ(evs[2].at("name").string, "vault3.bytes");
+    EXPECT_DOUBLE_EQ(evs[2].at("ts").number, 64.0);
+    EXPECT_DOUBLE_EQ(evs[2].at("args").at("value").number, 4096.0);
 }
 
 } // namespace

@@ -1,0 +1,8 @@
+// Rule S2 violations: zone arguments that are not registered
+// constants. Line numbers are asserted by test_lint.cc.
+void
+chargeZones()
+{
+    TEXPIM_PROF_CYCLES(kZoneRogue, 42);
+    TEXPIM_PROF_COUNT("frame/adhoc", 1);
+}

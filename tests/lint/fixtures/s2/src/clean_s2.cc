@@ -1,0 +1,10 @@
+// Registered constants under any qualification are fine; the macro
+// definition lines themselves (preprocessor) are never use sites.
+#define TEXPIM_PROF_CYCLES(zone, cycles) ((void)(zone), (void)(cycles))
+void
+chargeZones()
+{
+    TEXPIM_PROF_CYCLES(kZoneGood, 1);
+    TEXPIM_PROF_CYCLES(prof::kZoneGood, 2);
+    TEXPIM_PROF_CYCLES(::texpim::prof::kZoneGood, 3);
+}

@@ -1,0 +1,8 @@
+// Fixture zone table for rule S2. kZoneBare (line 7) has an empty
+// description and must be flagged; kZoneGood is fine.
+// texpim-lint: zone-table begin
+#define FIXTURE_ZONE_TABLE(Z)                                       \
+    Z(kZoneGood, "good", kZoneNone,                                 \
+      "a registered, described zone")                               \
+    Z(kZoneBare, "bare", kZoneNone, "")
+// texpim-lint: zone-table end

@@ -136,6 +136,28 @@ TEST(TexpimLint, S1FlagsUndescribedStatsOnce)
     EXPECT_EQ(r.out.find("clean_s1.cc"), std::string::npos) << r.out;
 }
 
+TEST(TexpimLint, S2FlagsUnregisteredZonesAndUndescribedTableRows)
+{
+    LintRun r = runLint("--repo-root " + fixture("s2") +
+                        " --rules S2 --zone-table src/zones.hh src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    // A zone charge whose argument is not a registered constant.
+    EXPECT_NE(r.out.find("src/bad_s2.cc:6: [S2]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("'kZoneRogue'"), std::string::npos) << r.out;
+    // An ad-hoc string-literal zone name.
+    EXPECT_NE(r.out.find("src/bad_s2.cc:7: [S2]"), std::string::npos)
+        << r.out;
+    // A table row registered without a description.
+    EXPECT_NE(r.out.find("src/zones.hh:7: [S2]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("'kZoneBare'"), std::string::npos) << r.out;
+    EXPECT_EQ(countOf(r.out, "[S2]"), 3) << r.out;
+    // Registered constants under any qualification, and the macro
+    // definition line itself, stay quiet.
+    EXPECT_EQ(r.out.find("clean_s2.cc"), std::string::npos) << r.out;
+}
+
 TEST(TexpimLint, A0FlagsTooShortJustificationButStillSuppresses)
 {
     LintRun r = runLint("--repo-root " + fixture("a0") + " --rules D1,A0 src");

@@ -25,6 +25,13 @@
  *   [S1] every Stat* registered in a StatGroup must pass a non-empty
  *        description somewhere (the PR-1 registry contract keeps
  *        `texpim stats` and the JSON export self-documenting).
+ *   [S2] every TEXPIM_PROF_CYCLES/COUNT/SCOPE zone argument must be a
+ *        constant registered in the zone table in
+ *        src/common/prof/zones.hh (between the `texpim-lint:
+ *        zone-table begin/end` markers), and every table row must
+ *        carry a non-empty description — ad-hoc zone names would
+ *        fragment the profile tree and strand `texpim report` rows
+ *        without documentation.
  *   [C1] every config key referenced in source must appear in the
  *        known-key table in src/gpu/params.cc and in the README
  *        configuration-reference table, and vice versa (catches dead
@@ -91,6 +98,7 @@ struct Options
     std::string baselinePath;
     std::string writeBaselinePath;
     std::string keyTablePath;       //!< default src/gpu/params.cc
+    std::string zoneTablePath;      //!< default src/common/prof/zones.hh
     std::vector<std::string> docPaths; //!< default README.md DESIGN.md
     bool verbose = false;
 };
@@ -114,6 +122,11 @@ void runTextRules(const std::vector<SourceFile> &files, const Options &opt,
  *  known-key table and the documentation table. */
 void runConfigRule(const std::vector<SourceFile> &files, const Options &opt,
                    std::vector<Finding> &out);
+
+/** Rule S2: every profile-zone macro argument must be a constant
+ *  registered (with a description) in the zone table. */
+void runZoneRule(const std::vector<SourceFile> &files, const Options &opt,
+                 std::vector<Finding> &out);
 
 // ---- baseline ----
 

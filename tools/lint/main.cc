@@ -10,6 +10,8 @@
  *     --rules LIST          comma-separated rule ids (default: all)
  *     --exclude SUBSTR      skip paths containing SUBSTR (repeatable)
  *     --key-table FILE      known-key table (default src/gpu/params.cc)
+ *     --zone-table FILE     profile-zone table for S2
+ *                           (default src/common/prof/zones.hh)
  *     --doc FILE            documentation file for C1 (repeatable;
  *                           default README.md DESIGN.md)
  *     --verbose             also print baselined findings
@@ -61,6 +63,7 @@ main(int argc, char **argv)
 {
     Options opt;
     opt.keyTablePath = "src/gpu/params.cc";
+    opt.zoneTablePath = "src/common/prof/zones.hh";
     opt.docPaths = {"README.md", "DESIGN.md"};
     opt.excludes = {"tests/lint/fixtures"};
     bool docsOverridden = false;
@@ -83,6 +86,8 @@ main(int argc, char **argv)
             opt.writeBaselinePath = value("--write-baseline");
         } else if (a == "--key-table") {
             opt.keyTablePath = value("--key-table");
+        } else if (a == "--zone-table") {
+            opt.zoneTablePath = value("--zone-table");
         } else if (a == "--doc") {
             if (!docsOverridden) {
                 opt.docPaths.clear();
@@ -161,6 +166,8 @@ main(int argc, char **argv)
     runTextRules(files, opt, findings);
     if (ruleEnabled(opt, "C1"))
         runConfigRule(files, opt, findings);
+    if (ruleEnabled(opt, "S2"))
+        runZoneRule(files, opt, findings);
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {

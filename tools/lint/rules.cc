@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <fstream>
 #include <regex>
 
 namespace texpim_lint {
@@ -406,7 +407,184 @@ ruleS1(const std::vector<SourceFile> &files, const Options &opt,
     (void)opt;
 }
 
+// ---------------------------------------------------------------- S2
+
+std::vector<std::string>
+readFileLines(const std::string &path)
+{
+    std::vector<std::string> lines;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return lines;
+    std::string l;
+    while (std::getline(in, l))
+        lines.push_back(l);
+    return lines;
+}
+
+std::string
+trimWs(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\n\r");
+    if (b == std::string::npos)
+        return {};
+    size_t e = s.find_last_not_of(" \t\n\r");
+    return s.substr(b, e - b + 1);
+}
+
+/**
+ * Parse the zone table between the `texpim-lint: zone-table begin/end`
+ * markers: each `Z(kZoneX, "name", kParent, "description")` row
+ * registers kZoneX; rows with an empty or missing description are
+ * flagged. Returns the registered constants (empty when the table file
+ * is absent, e.g. a single-rule fixture run).
+ */
+std::set<std::string>
+parseZoneTable(const Options &opt, std::vector<Finding> &out,
+               bool &haveTable)
+{
+    std::set<std::string> zones;
+    haveTable = false;
+    std::vector<std::string> lines =
+        readFileLines(opt.repoRoot + "/" + opt.zoneTablePath);
+    if (lines.empty())
+        return zones;
+
+    // Join the marker region, keeping an offset -> line map.
+    bool inTable = false;
+    std::vector<std::string> region(lines.size());
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (lines[i].find("texpim-lint: zone-table begin") !=
+            std::string::npos) {
+            inTable = true;
+            haveTable = true;
+            continue;
+        }
+        if (lines[i].find("texpim-lint: zone-table end") !=
+            std::string::npos)
+            inTable = false;
+        if (inTable) {
+            region[i] = lines[i];
+            // The table is a macro: blank the line-continuation
+            // backslashes so they never leak into parsed arguments.
+            std::replace(region[i].begin(), region[i].end(), '\\', ' ');
+        }
+    }
+    if (!haveTable)
+        return zones;
+
+    JoinedText j(region);
+    const std::string &t = j.text;
+    static const std::regex rowRe(R"(\bZ\s*\(\s*(kZone\w+))");
+    for (auto it = std::sregex_iterator(t.begin(), t.end(), rowRe);
+         it != std::sregex_iterator(); ++it) {
+        std::string zone = (*it)[1].str();
+        int line = j.lineAt(size_t(it->position()));
+        zones.insert(zone);
+
+        // Bracket-match the row's argument list, then check the
+        // description argument is a non-empty string literal.
+        size_t open = t.find('(', size_t(it->position()));
+        int depth = 0;
+        size_t p = open;
+        while (p < t.size()) {
+            if (t[p] == '(')
+                ++depth;
+            else if (t[p] == ')' && --depth == 0)
+                break;
+            ++p;
+        }
+        std::vector<std::string> args =
+            splitArgs(t.substr(open + 1, p - open - 1));
+        bool described = false;
+        if (args.size() >= 4) {
+            std::string desc = trimWs(args[3]);
+            described = desc.size() > 2 && desc.front() == '"' &&
+                        desc.find_first_not_of('"') != std::string::npos;
+        }
+        if (!described) {
+            Finding fd;
+            fd.rule = "S2";
+            fd.path = opt.zoneTablePath;
+            fd.line = line;
+            fd.key = zone;
+            fd.message =
+                "zone '" + zone +
+                "' is registered without a description; every zone-table "
+                "row must say what the zone measures so the profile "
+                "export and `texpim report` stay self-documenting";
+            out.push_back(fd);
+        }
+    }
+    return zones;
+}
+
+void
+ruleS2Uses(const SourceFile &f, const std::set<std::string> &zones,
+           const Options &opt, std::vector<Finding> &out)
+{
+    if (f.path == opt.zoneTablePath)
+        return; // the table itself
+    static const std::regex useRe(
+        R"(\bTEXPIM_PROF_(CYCLES|COUNT|SCOPE)\s*\()");
+    JoinedText j(f.codeStr);
+    const std::string &t = j.text;
+    for (auto it = std::sregex_iterator(t.begin(), t.end(), useRe);
+         it != std::sregex_iterator(); ++it) {
+        int line = j.lineAt(size_t(it->position()));
+        // Skip the macro definitions themselves (preprocessor lines).
+        std::string firstLine = trimWs(f.code[size_t(line) - 1]);
+        if (!firstLine.empty() && firstLine[0] == '#')
+            continue;
+
+        size_t open = size_t(it->position() + it->length()) - 1;
+        int depth = 0;
+        size_t p = open;
+        while (p < t.size()) {
+            if (t[p] == '(')
+                ++depth;
+            else if (t[p] == ')' && --depth == 0)
+                break;
+            ++p;
+        }
+        if (p >= t.size())
+            continue;
+        std::vector<std::string> args =
+            splitArgs(t.substr(open + 1, p - open - 1));
+        std::string arg = args.empty() ? std::string() : trimWs(args[0]);
+        // The last ::-component must be a registered constant; any
+        // namespace qualification (prof::, ::texpim::prof::) is fine.
+        std::string leaf = arg;
+        size_t colon = leaf.rfind("::");
+        if (colon != std::string::npos)
+            leaf = leaf.substr(colon + 2);
+        bool qualifierOk =
+            arg.find_first_not_of("abcdefghijklmnopqrstuvwxyz"
+                                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                                  "0123456789_:") == std::string::npos;
+        if (qualifierOk && zones.count(leaf))
+            continue;
+        report(out, f, line, "S2", arg.empty() ? "<empty>" : arg,
+               "profile zone '" + (arg.empty() ? "<empty>" : arg) +
+                   "' is not a registered zone constant; add a described "
+                   "row to the zone table in " + opt.zoneTablePath +
+                   " and charge prof::kZone* instead of an ad-hoc name");
+    }
+}
+
 } // namespace
+
+void
+runZoneRule(const std::vector<SourceFile> &files, const Options &opt,
+            std::vector<Finding> &out)
+{
+    bool haveTable = false;
+    std::set<std::string> zones = parseZoneTable(opt, out, haveTable);
+    if (!haveTable)
+        return; // no zone table (e.g. fixture run for another rule)
+    for (const SourceFile &f : files)
+        ruleS2Uses(f, zones, opt, out);
+}
 
 void
 runTextRules(const std::vector<SourceFile> &files, const Options &opt,
