@@ -25,7 +25,17 @@
  * Per-spec metrics and merged stats are byte-identical whatever
  * jobs= is; with trace_out=, job k writes "<trace_out>.job<k>".
  * metrics_out=<file.json> exports the per-spec sweep results
- * ("texpim-sweep-v1").
+ * ("texpim-sweep-v2", with per-spec status/attempts/error fields).
+ *
+ * Sweeps are resilient (see README "Resilient sweeps"): a spec that
+ * throws, panics or exceeds sim.job_timeout_ms= becomes a
+ * status=failed/timeout row instead of killing the grid;
+ * runner.max_retries= re-runs transient failures with seeded backoff;
+ * sweep_journal=<file.jsonl> checkpoints each finished spec and
+ * resume=<file.jsonl> continues an interrupted sweep with
+ * byte-identical final outputs. sim.inject_failure=
+ * ([design:]throw|panic|hang, comma-separated) injects failures for
+ * testing the machinery itself.
  *
  * Recognized keys: every SimConfig key (design=..., gpu.*, hmc.*,
  * gddr5.*, atfim.*, energy.*, pim.*, fault_*) plus:
@@ -69,6 +79,7 @@
 #include "sim/attribution/report.hh"
 #include "sim/experiment.hh"
 #include "sim/runner/experiment_runner.hh"
+#include "sim/runner/sweep_journal.hh"
 #include "sim/simulator.hh"
 
 using namespace texpim;
@@ -377,12 +388,87 @@ cmdFrames(int argc, char **argv)
     return 0;
 }
 
+/** sim.inject_failure= kind token (tests/CI; see InjectedFailure). */
+InjectedFailure
+parseFailureKind(const std::string &kind)
+{
+    if (kind == "throw")
+        return InjectedFailure::Throw;
+    if (kind == "panic")
+        return InjectedFailure::Panic;
+    if (kind == "hang")
+        return InjectedFailure::Hang;
+    TEXPIM_FATAL("bad sim.inject_failure kind '", kind,
+                 "' (throw|panic|hang)");
+}
+
+bool
+parseDesignToken(const std::string &d, Design &out)
+{
+    if (d == "baseline")
+        out = Design::Baseline;
+    else if (d == "b-pim" || d == "bpim")
+        out = Design::BPim;
+    else if (d == "s-tfim" || d == "stfim")
+        out = Design::STfim;
+    else if (d == "a-tfim" || d == "atfim")
+        out = Design::ATfim;
+    else
+        return false;
+    return true;
+}
+
+/**
+ * Apply sim.inject_failure= to the sweep grid: a comma-separated list
+ * of `<kind>` (all specs) or `<design>:<kind>` (that design's specs),
+ * kind in throw|panic|hang. Exists so the containment, watchdog and
+ * retry machinery can be exercised end to end from the CLI — e.g. the
+ * CI fault-containment smoke runs
+ * sim.inject_failure=bpim:panic,stfim:throw,atfim:hang.
+ */
+void
+applyInjectedFailures(std::vector<ExperimentSpec> &specs,
+                      const std::string &grammar)
+{
+    size_t pos = 0;
+    while (pos < grammar.size()) {
+        size_t comma = grammar.find(',', pos);
+        std::string item = grammar.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? grammar.size() : comma + 1;
+        if (item.empty())
+            continue;
+        size_t colon = item.find(':');
+        if (colon == std::string::npos) {
+            InjectedFailure kind = parseFailureKind(item);
+            for (ExperimentSpec &s : specs)
+                s.inject = kind;
+        } else {
+            Design d;
+            if (!parseDesignToken(item.substr(0, colon), d))
+                TEXPIM_FATAL("bad sim.inject_failure design '",
+                             item.substr(0, colon),
+                             "' (baseline|bpim|stfim|atfim)");
+            InjectedFailure kind = parseFailureKind(item.substr(colon + 1));
+            for (ExperimentSpec &s : specs)
+                if (s.config.design == d)
+                    s.inject = kind;
+        }
+    }
+}
+
 /**
  * The (design x game) grid on the ExperimentRunner job pool. Every
  * output — the table, metrics_out JSON, merged stats_out — depends
  * only on the spec list, never on jobs=, so runs are reproducible and
  * comparable across machines (the thread-count invariance test pins
- * this down).
+ * this down). Failures are contained per spec: a throwing, panicking
+ * or timed-out spec becomes a status=failed/timeout row in the
+ * "texpim-sweep-v2" metrics and the sweep still exits 0 (the grid
+ * completed; the rows say what happened). With sweep_journal= every
+ * finished spec is checkpointed; resume=<journal> skips the completed
+ * ones and reproduces byte-identical merged outputs.
  */
 int
 cmdSweep(int argc, char **argv)
@@ -405,12 +491,18 @@ cmdSweep(int argc, char **argv)
         cfg.has("max_aniso") ? unsigned(cfg.getInt("max_aniso")) : 0;
     std::string stats_out = cfg.getString("stats_out", "");
     std::string metrics_out = cfg.getString("metrics_out", "");
+    std::string journal_path = cfg.getString("sweep_journal", "");
+    std::string resume_path = cfg.getString("resume", "");
+    std::string inject = cfg.getString("sim.inject_failure", "");
 
     RunnerOptions ropt;
     ropt.jobs = unsigned(cfg.getInt("jobs", 1));
     ropt.tracePath = cfg.getString("trace_out", "");
     ropt.traceCap =
         u64(cfg.getInt("trace_cap", i64(TraceEvents::kDefaultEventCap)));
+    ropt.jobTimeoutMs = u64(cfg.getInt("sim.job_timeout_ms", 0));
+    ropt.maxRetries = unsigned(cfg.getInt("runner.max_retries", 0));
+    ropt.retryBackoffMs = u64(cfg.getInt("runner.retry_backoff_ms", 100));
 #if !TEXPIM_TRACING
     if (!ropt.tracePath.empty())
         TEXPIM_FATAL(
@@ -435,20 +527,70 @@ cmdSweep(int argc, char **argv)
             specs.push_back(std::move(spec));
         }
     }
+    if (!inject.empty())
+        applyInjectedFailures(specs, inject);
+
+    // Checkpoint/resume plumbing. resume= continues an interrupted
+    // sweep's journal: restored specs are skipped and fresh ones keep
+    // appending to the same file.
+    std::unique_ptr<SweepJournal> journal;
+    std::map<size_t, ExperimentResult> resumed;
+    if (!resume_path.empty()) {
+        if (!journal_path.empty() && journal_path != resume_path)
+            TEXPIM_FATAL("resume= continues its own journal; drop "
+                         "sweep_journal= or make it match resume=");
+        std::vector<std::string> labels;
+        labels.reserve(specs.size());
+        for (const ExperimentSpec &s : specs)
+            labels.push_back(s.name.empty() ? s.defaultLabel() : s.name);
+        resumed = SweepJournal::load(resume_path, labels);
+        journal = std::make_unique<SweepJournal>(resume_path, specs.size(),
+                                                 /*fresh=*/false);
+        ropt.resumed = &resumed;
+        std::printf("resume: %zu of %zu specs restored from %s\n",
+                    resumed.size(), specs.size(), resume_path.c_str());
+    } else if (!journal_path.empty()) {
+        journal = std::make_unique<SweepJournal>(journal_path, specs.size(),
+                                                 /*fresh=*/true);
+    }
+    ropt.journal = journal.get();
 
     std::vector<ExperimentResult> results =
         ExperimentRunner(ropt).run(specs);
 
+    size_t failed = 0;
     for (const ExperimentResult &r : results) {
-        printResult(r.name.c_str(), r.result);
+        if (r.ok()) {
+            printResult(r.name.c_str(), r.result);
+        } else {
+            ++failed;
+            std::printf("%-10s %s (%s%s%s)%s: %s\n", r.name.c_str(),
+                        jobStatusName(r.status),
+                        jobErrorCategoryName(r.error.category),
+                        r.error.site.empty() ? "" : " at ",
+                        r.error.site.c_str(),
+                        r.attempts > 1
+                            ? (" after " + std::to_string(r.attempts) +
+                               " attempts")
+                                  .c_str()
+                            : "",
+                        r.error.message.c_str());
+        }
         if (!r.traceFile.empty())
             std::printf("%-10s wrote %s\n", "", r.traceFile.c_str());
     }
+    if (failed > 0)
+        std::printf("%zu of %zu specs did not complete (status fields in "
+                    "the metrics export say why)\n",
+                    failed, results.size());
 
     if (!metrics_out.empty()) {
+        // v1 -> v2: every spec row gains "status"/"attempts"/"error";
+        // failed rows keep the numeric fields (zeros) so consumers can
+        // stay column-oriented. See README "Sweep metrics schema".
         JsonWriter w;
         w.beginObject();
-        w.keyValue("schema", "texpim-sweep-v1");
+        w.keyValue("schema", "texpim-sweep-v2");
         w.key("specs").beginArray();
         for (const ExperimentResult &r : results) {
             char hash[32];
@@ -456,6 +598,18 @@ cmdSweep(int argc, char **argv)
                           (unsigned long long)r.imageFnv1a);
             w.beginObject();
             w.keyValue("name", r.name);
+            w.keyValue("status", jobStatusName(r.status));
+            w.keyValue("attempts", u64(r.attempts));
+            if (r.ok()) {
+                w.keyNull("error");
+            } else {
+                w.key("error").beginObject();
+                w.keyValue("category",
+                           jobErrorCategoryName(r.error.category));
+                w.keyValue("site", r.error.site);
+                w.keyValue("message", r.error.message);
+                w.endObject();
+            }
             w.keyValue("frame_cycles", u64(r.result.frame.frameCycles));
             w.keyValue("texture_filter_cycles",
                        u64(r.result.textureFilterCycles));

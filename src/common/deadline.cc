@@ -1,0 +1,59 @@
+#include "common/deadline.hh"
+
+#include <chrono>
+
+namespace texpim {
+
+namespace {
+
+double
+nowSeconds()
+{
+    // Watchdog wall clock: consulted only while a deadline is armed,
+    // and only to decide whether to cancel a hung job; no simulated
+    // cycle, statistic or exported byte derives from it.
+    // texpim-lint: allow(D1) watchdog-only wall clock, not simulated
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+SimTimeout::SimTimeout(std::string site, u64 timeout_ms)
+    : std::runtime_error("job exceeded sim.job_timeout_ms=" +
+                         std::to_string(timeout_ms) + " (observed at " +
+                         site + ")"),
+      site_(std::move(site)), timeout_ms_(timeout_ms)
+{}
+
+void
+Deadline::arm(u64 timeout_ms)
+{
+    timeout_ms_ = timeout_ms;
+    deadline_sec_ = nowSeconds() + double(timeout_ms) * 1e-3;
+    armed_ = true;
+}
+
+void
+Deadline::disarm()
+{
+    armed_ = false;
+    timeout_ms_ = 0;
+    deadline_sec_ = 0.0;
+}
+
+bool
+Deadline::expired() const
+{
+    return armed_ && nowSeconds() > deadline_sec_;
+}
+
+void
+Deadline::checkArmed(const char *site) const
+{
+    if (nowSeconds() > deadline_sec_)
+        throw SimTimeout(site, timeout_ms_);
+}
+
+} // namespace texpim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cooperative watchdog deadline for one simulation job.
+ *
+ * A Deadline lives on a SimContext (sim_context.hh). The harness arms
+ * it with a wall-clock budget before running a job
+ * (RunnerOptions::jobTimeoutMs / sim.job_timeout_ms=); long-running
+ * simulation loops poll check() at natural cancellation points — the
+ * renderer does so at tile granularity in its scheduling loop and once
+ * per frame — and an expired deadline raises SimTimeout, which the
+ * ExperimentRunner's job boundary converts into a structured Timeout
+ * JobError instead of letting a hung spec stall the whole sweep.
+ *
+ * Zero-overhead-when-unset contract: check() on an unarmed deadline is
+ * a single flag test — no clock read, no allocation — so fault-free
+ * runs without a timeout are bit-identical in behavior and unmeasurable
+ * in cost. The wall clock is only ever consulted while armed, and only
+ * to decide *whether* to cancel; no simulated quantity ever derives
+ * from it, which keeps determinism rule D1's intent intact (the one
+ * clock read below carries an allow(D1) annotation).
+ */
+
+#ifndef TEXPIM_COMMON_DEADLINE_HH
+#define TEXPIM_COMMON_DEADLINE_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
+
+namespace texpim {
+
+/**
+ * Raised by Deadline::check() when the armed budget is exhausted.
+ * Carries the cancellation site that noticed the expiry (the
+ * "renderer.tile"-style poll point) for structured error reports.
+ */
+class SimTimeout : public std::runtime_error
+{
+  public:
+    SimTimeout(std::string site, u64 timeout_ms);
+
+    /** The poll point that observed the expiry. */
+    const std::string &site() const { return site_; }
+
+    /** The armed budget in milliseconds. */
+    u64 timeoutMs() const { return timeout_ms_; }
+
+  private:
+    std::string site_;
+    u64 timeout_ms_ = 0;
+};
+
+class Deadline
+{
+  public:
+    Deadline() = default;
+
+    /** Arm with a budget of `timeout_ms` measured from now. */
+    void arm(u64 timeout_ms);
+
+    /** Disarm; subsequent check() calls are the unarmed fast path. */
+    void disarm();
+
+    bool armed() const { return armed_; }
+    u64 timeoutMs() const { return timeout_ms_; }
+
+    /** Has the armed budget run out? (false when unarmed) */
+    bool expired() const;
+
+    /**
+     * Cooperative cancellation point: throw SimTimeout{site} when the
+     * armed budget is exhausted. A single branch when unarmed.
+     */
+    void
+    check(const char *site) const
+    {
+        if (!armed_)
+            return;
+        checkArmed(site);
+    }
+
+  private:
+    void checkArmed(const char *site) const;
+
+    bool armed_ = false;
+    u64 timeout_ms_ = 0;
+    double deadline_sec_ = 0.0; //!< steady-clock time of expiry
+};
+
+} // namespace texpim
+
+#endif // TEXPIM_COMMON_DEADLINE_HH

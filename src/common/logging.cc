@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "common/sim_context.hh"
+
 namespace texpim {
 
 namespace {
@@ -12,7 +14,32 @@ namespace {
 std::atomic<unsigned long> warn_counter{0};
 std::atomic<bool> quiet{false};
 
+/** Nesting depth of live ScopedPanicHandlers on this thread. */
+thread_local unsigned panic_handler_depth = 0;
+
 } // namespace
+
+SimPanic::SimPanic(const char *file, int line, const std::string &msg)
+    : std::runtime_error("panic: " + msg + " @ " + file + ":" +
+                         std::to_string(line)),
+      site_(std::string(file) + ":" + std::to_string(line)), message_(msg)
+{}
+
+ScopedPanicHandler::ScopedPanicHandler()
+{
+    ++panic_handler_depth;
+}
+
+ScopedPanicHandler::~ScopedPanicHandler()
+{
+    --panic_handler_depth;
+}
+
+bool
+ScopedPanicHandler::installed()
+{
+    return panic_handler_depth > 0;
+}
 
 unsigned long
 warnCount()
@@ -31,7 +58,23 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    if (ScopedPanicHandler::installed())
+        throw SimPanic(file, line, msg);
+
     std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    // No handler: the process is about to die. Flush the panicking
+    // thread's SimContext observability state first so a crash on a
+    // worker thread does not silently discard an enabled trace —
+    // disable() writes the buffered events (including the
+    // event_cap_truncated instant when the cap dropped events) and
+    // publishes the trace.dropped_events statistic.
+    TraceEvents &trace = SimContext::current().trace();
+    if (trace.enabled()) {
+        trace.disable();
+        std::fprintf(stderr, "  flushed trace to %s (%llu events)\n",
+                     trace.path().c_str(),
+                     (unsigned long long)trace.recorded());
+    }
     std::abort();
 }
 

@@ -3,7 +3,11 @@
  * gem5-style status and error reporting.
  *
  * panic()  - a simulator bug: something that must never happen happened.
- *            Aborts so a debugger or core dump can capture state.
+ *            Aborts so a debugger or core dump can capture state —
+ *            unless the calling thread installed a ScopedPanicHandler,
+ *            in which case a SimPanic exception is thrown instead so a
+ *            harness (the ExperimentRunner's job boundary) can contain
+ *            the failure without losing the process.
  * fatal()  - a user error (bad configuration, invalid arguments). Exits
  *            with a nonzero status, no core dump.
  * warn()   - functionality that might not behave exactly as intended.
@@ -14,9 +18,53 @@
 #define TEXPIM_COMMON_LOGGING_HH
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace texpim {
+
+/**
+ * The exception form of panic(): thrown instead of aborting while a
+ * ScopedPanicHandler is installed on the calling thread. Carries the
+ * panic site ("file:line") and the formatted message separately so a
+ * catcher can report them as structured fields (JobError).
+ */
+class SimPanic : public std::runtime_error
+{
+  public:
+    SimPanic(const char *file, int line, const std::string &msg);
+
+    /** "file:line" of the TEXPIM_PANIC that fired. */
+    const std::string &site() const { return site_; }
+
+    /** The formatted panic message, without the site decoration. */
+    const std::string &message() const { return message_; }
+
+  private:
+    std::string site_;
+    std::string message_;
+};
+
+/**
+ * RAII, thread-local panic containment. While an instance is live on a
+ * thread, TEXPIM_PANIC / TEXPIM_ASSERT failures on that thread throw
+ * SimPanic instead of aborting the process. Handlers nest (a count,
+ * not a flag) and are strictly per-thread: a panic on a thread without
+ * a handler still aborts, after flushing the thread's current
+ * SimContext observability buffers (see panicImpl).
+ */
+class ScopedPanicHandler
+{
+  public:
+    ScopedPanicHandler();
+    ~ScopedPanicHandler();
+
+    ScopedPanicHandler(const ScopedPanicHandler &) = delete;
+    ScopedPanicHandler &operator=(const ScopedPanicHandler &) = delete;
+
+    /** Is a handler installed on the calling thread? */
+    static bool installed();
+};
 
 namespace detail {
 

@@ -35,6 +35,7 @@
 #ifndef TEXPIM_COMMON_SIM_CONTEXT_HH
 #define TEXPIM_COMMON_SIM_CONTEXT_HH
 
+#include "common/deadline.hh"
 #include "common/fault.hh"
 #include "common/prof/profiler.hh"
 #include "common/stat_registry.hh"
@@ -64,11 +65,13 @@ class SimContext
     TraceEvents &trace() { return trace_; }
     FaultRegistry &faults() { return faults_; }
     Profiler &prof() { return prof_; }
+    Deadline &deadline() { return deadline_; }
 
     const StatRegistry &stats() const { return stats_; }
     const TraceEvents &trace() const { return trace_; }
     const FaultRegistry &faults() const { return faults_; }
     const Profiler &prof() const { return prof_; }
+    const Deadline &deadline() const { return deadline_; }
 
     /**
      * RAII installer: makes `ctx` the calling thread's current context
@@ -93,6 +96,7 @@ class SimContext
     TraceEvents trace_;
     FaultRegistry faults_;
     Profiler prof_;
+    Deadline deadline_;
 };
 
 } // namespace texpim

@@ -65,7 +65,9 @@ knownConfigKeys()
         "compress", "design", "disable_aniso", "frame", "height",
         "jobs", "max_aniso", "metrics_out", "out", "prof",
         "prof.epoch_cycles", "prof.wall", "prof_out", "report_out",
-        "seed", "stats_out", "strict_config", "trace_cap", "trace_out",
+        "resume", "runner.max_retries", "runner.retry_backoff_ms",
+        "seed", "sim.inject_failure", "sim.job_timeout_ms", "stats_out",
+        "strict_config", "sweep_journal", "trace_cap", "trace_out",
         "width",
 
         // A-TFIM approximation.

@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/prof/profiler.hh"
+#include "common/sim_context.hh"
 #include "common/trace_events.hh"
 #include "gpu/replay.hh"
 
@@ -195,7 +196,13 @@ Renderer::scheduleLoop(FrameCtx &ctx, FrameStats &fs, TileBody &&body)
 {
     FrameBuffer &fb = ctx.fb;
 
+    // Cooperative cancellation at tile granularity: a single branch
+    // per tile when no watchdog deadline is armed (the zero-overhead
+    // contract), a SimTimeout unwind when a hung job's budget runs out.
+    const Deadline &deadline = SimContext::current().deadline();
+
     while (true) {
+        deadline.check("renderer.tile");
         unsigned cluster = params_.clusters;
         if (params_.deterministicSchedule) {
             // Pinned functional order: fixed round-robin over clusters
@@ -660,6 +667,11 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
                   "framebuffer does not match scene resolution");
 
     TEXPIM_PROF_SCOPE(prof::kZoneFrame); // wall-clock only (D1)
+
+    // Frame-granularity cancellation point (renderSequence frames past
+    // the first; tile-granularity checks in scheduleLoop cover the
+    // inside of a frame).
+    SimContext::current().deadline().check("renderer.frame");
 
     FrameStats fs;
     fb.clear();

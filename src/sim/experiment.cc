@@ -70,8 +70,22 @@ runSuites(const std::vector<SimConfig> &configs, const SuiteOptions &opt)
     RunnerOptions ropt;
     ropt.jobs = opt.jobs;
     ropt.verbose = opt.verbose;
+    ropt.jobTimeoutMs = opt.jobTimeoutMs;
     std::vector<ExperimentResult> results =
         ExperimentRunner(ropt).run(specs);
+
+    // Bench tables normalize everything against these numbers; a
+    // contained failure would silently become a row of zeros, so for
+    // the suite API failure is fatal (the sweep CLI, which can report
+    // per-spec status, degrades gracefully instead).
+    for (const ExperimentResult &r : results) {
+        if (!r.ok())
+            TEXPIM_FATAL("suite spec '", r.name, "' ",
+                         jobStatusName(r.status), " (",
+                         jobErrorCategoryName(r.error.category),
+                         r.error.site.empty() ? "" : " at ", r.error.site,
+                         "): ", r.error.message);
+    }
 
     std::vector<std::vector<WorkloadResult>> out(configs.size());
     for (size_t c = 0; c < configs.size(); ++c) {
@@ -188,10 +202,13 @@ parseSuiteArgs(int argc, char **argv)
             opt.seed = u64(std::strtoull(argv[++i], nullptr, 0));
         } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             opt.jobs = unsigned(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--timeout-ms") == 0 &&
+                   i + 1 < argc) {
+            opt.jobTimeoutMs = u64(std::strtoull(argv[++i], nullptr, 0));
         } else {
             TEXPIM_FATAL("unknown argument '", argv[i],
                          "' (try --quick, --frame N, --seed S, --jobs N, "
-                         "--verbose)");
+                         "--timeout-ms T, --verbose)");
         }
     }
     return opt;

@@ -36,6 +36,10 @@ struct SuiteOptions
      *  0 = all hardware threads). Results are identical whatever this
      *  is — see sim/runner/experiment_runner.hh. */
     unsigned jobs = 1;
+    /** Watchdog deadline per simulation in milliseconds (--timeout-ms;
+     *  0 = no watchdog). A timed-out or otherwise failed suite spec is
+     *  fatal — bench tables cannot carry holes. */
+    u64 jobTimeoutMs = 0;
 };
 
 /** The workload list, optionally downscaled. */

@@ -1,11 +1,16 @@
 #include "sim/runner/experiment_runner.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 
+#include "common/deadline.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/stat_export.hh"
 #include "quality/image_metrics.hh"
+#include "sim/runner/sweep_journal.hh"
 
 namespace texpim {
 
@@ -28,11 +33,55 @@ ExperimentRunner::effectiveJobs(size_t num_specs) const
     return unsigned(std::min<size_t>(jobs, std::max<size_t>(1, num_specs)));
 }
 
+bool
+ExperimentRunner::retryable(JobErrorCategory category) const
+{
+    return std::find(opt_.retryOn.begin(), opt_.retryOn.end(), category) !=
+           opt_.retryOn.end();
+}
+
+namespace {
+
+/** Trip the spec's injected failure (tests/CI; see InjectedFailure). */
+void
+fireInjectedFailure(const ExperimentSpec &spec, const std::string &label)
+{
+    switch (spec.inject) {
+      case InjectedFailure::None:
+        return;
+      case InjectedFailure::Throw:
+        throw std::runtime_error("injected failure: throw (spec '" + label +
+                                 "', attempt " +
+                                 std::to_string(spec.attempt) + ")");
+      case InjectedFailure::Panic:
+        TEXPIM_PANIC("injected failure: panic (spec '", label, "', attempt ",
+                     spec.attempt, ")");
+      case InjectedFailure::Hang:
+        // Cooperative hang: spin on the watchdog poll the render loop
+        // uses, so the Timeout path is exercised end to end. Refuses
+        // to hang a run that armed no deadline (that would wedge the
+        // worker forever) — the assert panics instead, which the job
+        // boundary contains.
+        TEXPIM_ASSERT(SimContext::current().deadline().armed(),
+                      "inject=hang requires sim.job_timeout_ms > 0");
+        for (;;) {
+            SimContext::current().deadline().check("runner.inject_hang");
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    }
+}
+
+} // namespace
+
 ExperimentResult
 ExperimentRunner::runOne(const ExperimentSpec &spec)
 {
     ExperimentResult out;
     out.name = spec.name.empty() ? spec.defaultLabel() : spec.name;
+
+    if (spec.inject != InjectedFailure::None &&
+        spec.attempt < spec.injectUntilAttempt)
+        fireInjectedFailure(spec, out.name);
 
     Scene scene = buildGameScene(spec.workload, spec.frame, spec.seed);
     scene.settings.maxAniso = spec.maxAniso != 0
@@ -49,6 +98,79 @@ ExperimentRunner::runOne(const ExperimentSpec &spec)
     return out;
 }
 
+ExperimentResult
+ExperimentRunner::runAttempt(const ExperimentSpec &spec, size_t index,
+                             unsigned attempt) const
+{
+    ExperimentSpec att = spec;
+    att.attempt = attempt;
+    if (attempt > 0 && att.config.hmc.fault.enabled()) {
+        // Give the retry an independent (but deterministic) fault
+        // stream: replaying the exact pattern that just aborted the
+        // attempt would make "transient" faults permanent.
+        att.config.hmc.fault.seed = faultSiteSeed(
+            spec.config.hmc.fault.seed, "retry#" + std::to_string(attempt));
+    }
+
+    Deadline &deadline = SimContext::current().deadline();
+    if (opt_.jobTimeoutMs > 0)
+        deadline.arm(opt_.jobTimeoutMs);
+
+    JobError err;
+    try {
+        // The handler must live inside this attempt's SimContext scope
+        // (the caller's), so a panic unwinds the RenderingSimulator —
+        // unregistering its stat groups and fault sites — before the
+        // context is torn down.
+        ScopedPanicHandler contain;
+        ExperimentResult out = runOne(att);
+        out.attempts = attempt + 1;
+        deadline.disarm();
+        return out;
+    } catch (const SimTimeout &e) {
+        err.category = JobErrorCategory::Timeout;
+        err.site = e.site();
+        err.message = e.what();
+    } catch (const SimPanic &e) {
+        err.category = JobErrorCategory::Panic;
+        err.site = e.site();
+        err.message = e.message();
+    } catch (const std::exception &e) {
+        err.category = JobErrorCategory::Exception;
+        err.message = e.what();
+    } catch (...) {
+        err.category = JobErrorCategory::Unknown;
+        err.message = "non-std::exception thrown";
+    }
+    deadline.disarm();
+    err.specIndex = index;
+
+    ExperimentResult out;
+    out.name = spec.name.empty() ? spec.defaultLabel() : spec.name;
+    out.status = err.category == JobErrorCategory::Timeout
+                     ? JobStatus::Timeout
+                     : JobStatus::Failed;
+    out.error = std::move(err);
+    out.attempts = attempt + 1;
+    return out;
+}
+
+void
+ExperimentRunner::backoff(const ExperimentSpec &spec, unsigned attempt) const
+{
+    if (opt_.retryBackoffMs == 0)
+        return;
+    // base * 2^(attempt-1), plus up to 50% jitter drawn from the same
+    // seeded stream family as the fault sites: the delay depends only
+    // on (spec seed, spec label, attempt), never on wall time.
+    u64 base = opt_.retryBackoffMs << std::min(attempt - 1, 20u);
+    std::string label = spec.name.empty() ? spec.defaultLabel() : spec.name;
+    Rng rng(faultSiteSeed(spec.seed,
+                          label + "#backoff" + std::to_string(attempt)));
+    u64 delay_ms = base + u64(double(base) * 0.5 * rng.uniform());
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
 std::vector<ExperimentResult>
 ExperimentRunner::run(const std::vector<ExperimentSpec> &specs)
 {
@@ -58,38 +180,78 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs)
 
     // Self-scheduling queue: workers claim the next unstarted spec.
     // Which worker runs which spec varies; nothing about a result
-    // does, because every job lives in its own SimContext and writes
-    // only results[i].
+    // does, because every attempt lives in its own SimContext and
+    // writes only results[i].
     std::atomic<size_t> next{0};
     auto work = [&]() {
         for (;;) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= specs.size())
                 return;
-            SimContext ctx;
-            SimContext::Scope scope(ctx);
-            std::string trace_file;
-            if (!opt_.tracePath.empty()) {
-                trace_file = opt_.tracePath + ".job" + std::to_string(i);
-                ctx.trace().enable(trace_file, opt_.traceCap);
+
+            if (opt_.resumed != nullptr) {
+                auto it = opt_.resumed->find(i);
+                if (it != opt_.resumed->end()) {
+                    // Restored from the journal: reproduce the stored
+                    // result verbatim (it is bit-exact; see
+                    // sweep_journal.hh) and do not re-append it.
+                    results[i] = it->second;
+                    if (opt_.verbose) {
+                        TEXPIM_INFORM("job ", i + 1, "/", specs.size(),
+                                      " ", results[i].name,
+                                      ": resumed from journal");
+                    }
+                    continue;
+                }
             }
-            results[i] = runOne(specs[i]);
-            if (!trace_file.empty()) {
-                ctx.trace().disable(); // writes the file
-                results[i].traceFile = trace_file;
+
+            unsigned max_attempts = 1 + opt_.maxRetries;
+            ExperimentResult res;
+            for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+                if (attempt > 0)
+                    backoff(specs[i], attempt);
+                // Fresh context per attempt: a failed attempt leaves
+                // no stats, faults or trace events behind.
+                SimContext ctx;
+                SimContext::Scope scope(ctx);
+                std::string trace_file;
+                if (!opt_.tracePath.empty()) {
+                    trace_file = opt_.tracePath + ".job" + std::to_string(i);
+                    ctx.trace().enable(trace_file, opt_.traceCap);
+                }
+                res = runAttempt(specs[i], i, attempt);
+                if (!trace_file.empty()) {
+                    ctx.trace().disable(); // writes the file
+                    res.traceFile = trace_file;
+                }
+                if (res.ok() || !retryable(res.error.category))
+                    break;
             }
+            results[i] = res;
+
+            if (opt_.journal != nullptr)
+                opt_.journal->append(results[i], i);
             if (opt_.verbose) {
-                TEXPIM_INFORM("job ", i + 1, "/", specs.size(), " ",
-                              results[i].name, ": ",
-                              results[i].result.frame.frameCycles,
-                              " cycles");
+                if (results[i].ok()) {
+                    TEXPIM_INFORM("job ", i + 1, "/", specs.size(), " ",
+                                  results[i].name, ": ",
+                                  results[i].result.frame.frameCycles,
+                                  " cycles");
+                } else {
+                    TEXPIM_INFORM("job ", i + 1, "/", specs.size(), " ",
+                                  results[i].name, ": ",
+                                  jobStatusName(results[i].status), " (",
+                                  jobErrorCategoryName(
+                                      results[i].error.category),
+                                  ": ", results[i].error.message, ")");
+                }
             }
         }
     };
 
     unsigned jobs = effectiveJobs(specs.size());
     if (jobs <= 1) {
-        // Inline serial path — same per-job contexts, no threads.
+        // Inline serial path — same per-attempt contexts, no threads.
         work();
         return results;
     }

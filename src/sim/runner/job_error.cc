@@ -1,0 +1,66 @@
+#include "sim/runner/job_error.hh"
+
+#include "common/logging.hh"
+
+namespace texpim {
+
+const char *
+jobErrorCategoryName(JobErrorCategory c)
+{
+    switch (c) {
+      case JobErrorCategory::None:
+        return "none";
+      case JobErrorCategory::Exception:
+        return "exception";
+      case JobErrorCategory::Panic:
+        return "panic";
+      case JobErrorCategory::Timeout:
+        return "timeout";
+      case JobErrorCategory::Unknown:
+        return "unknown";
+    }
+    TEXPIM_PANIC("invalid JobErrorCategory ", int(c));
+}
+
+JobErrorCategory
+jobErrorCategoryFromName(const std::string &name)
+{
+    if (name == "none")
+        return JobErrorCategory::None;
+    if (name == "exception")
+        return JobErrorCategory::Exception;
+    if (name == "panic")
+        return JobErrorCategory::Panic;
+    if (name == "timeout")
+        return JobErrorCategory::Timeout;
+    return JobErrorCategory::Unknown;
+}
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Failed:
+        return "failed";
+      case JobStatus::Timeout:
+        return "timeout";
+    }
+    TEXPIM_PANIC("invalid JobStatus ", int(s));
+}
+
+JobStatus
+jobStatusFromName(const std::string &name)
+{
+    if (name == "ok")
+        return JobStatus::Ok;
+    if (name == "failed")
+        return JobStatus::Failed;
+    if (name == "timeout")
+        return JobStatus::Timeout;
+    TEXPIM_FATAL("unknown job status '", name,
+                 "' (corrupt sweep journal?)");
+}
+
+} // namespace texpim

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
 #include "common/logging.hh"
+#include "common/sim_context.hh"
 
 namespace texpim {
 namespace {
@@ -41,6 +47,87 @@ TEST(Logging, AssertPassesOnTrue)
 {
     TEXPIM_ASSERT(2 + 2 == 4, "never shown");
     SUCCEED();
+}
+
+// --- panic containment (ScopedPanicHandler / SimPanic) --------------
+
+TEST(PanicHandler, PanicThrowsSimPanicWhileHandlerInstalled)
+{
+    ScopedPanicHandler contain;
+    try {
+        TEXPIM_PANIC("contained ", 7);
+        FAIL() << "panic did not throw";
+    } catch (const SimPanic &e) {
+        EXPECT_EQ(e.message(), "contained 7");
+        EXPECT_NE(e.site().find("test_logging.cc:"), std::string::npos)
+            << e.site();
+        EXPECT_NE(std::string(e.what()).find("panic: contained 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(PanicHandler, AssertThrowsThroughHandlerToo)
+{
+    ScopedPanicHandler contain;
+    EXPECT_THROW(TEXPIM_ASSERT(1 == 2, "math broke"), SimPanic);
+}
+
+TEST(PanicHandler, HandlersNest)
+{
+    ScopedPanicHandler outer;
+    {
+        ScopedPanicHandler inner;
+        EXPECT_TRUE(ScopedPanicHandler::installed());
+    }
+    // The outer handler still contains after the inner one died.
+    EXPECT_TRUE(ScopedPanicHandler::installed());
+    EXPECT_THROW(TEXPIM_PANIC("still contained"), SimPanic);
+}
+
+TEST(PanicHandler, HandlerIsThreadLocal)
+{
+    ScopedPanicHandler contain;
+    EXPECT_TRUE(ScopedPanicHandler::installed());
+    bool installed_on_other_thread = true;
+    std::thread t([&] {
+        installed_on_other_thread = ScopedPanicHandler::installed();
+    });
+    t.join();
+    EXPECT_FALSE(installed_on_other_thread)
+        << "containment must not leak across threads";
+}
+
+TEST(PanicHandlerDeath, PanicAbortsAgainAfterHandlerDestroyed)
+{
+    { ScopedPanicHandler contain; }
+    EXPECT_FALSE(ScopedPanicHandler::installed());
+    EXPECT_DEATH({ TEXPIM_PANIC("boom again"); }, "panic: boom again");
+}
+
+TEST(PanicHandlerDeath, UncontainedPanicFlushesEnabledTrace)
+{
+    // A panic with no handler installed must write the panicking
+    // thread's SimContext trace buffer to disk before aborting, so a
+    // crashed worker keeps its observability artifacts. The death
+    // statement runs in the forked child; the file it writes is
+    // visible to us afterwards.
+    std::string path = testing::TempDir() + "texpim_panic_flush.json";
+    std::remove(path.c_str());
+    EXPECT_DEATH(
+        {
+            SimContext ctx;
+            SimContext::Scope scope(ctx);
+            ctx.trace().enable(path, 64);
+            TEXPIM_PANIC("flush me");
+        },
+        "flushed trace to");
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "panic did not write " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    EXPECT_NE(text.str().find("traceEvents"), std::string::npos)
+        << "flushed trace is not a trace-event file";
+    std::remove(path.c_str());
 }
 
 } // namespace
