@@ -14,18 +14,27 @@
  * Usage:
  *   perf_render [width=640] [height=480] [frame=3] [design=baseline]
  *               [threads=0,1,4] [reps=3] [out=BENCH_PERF.json] [gate=0]
+ *               [sampler=quad|scalar] [record_budget=0]
  *
  * threads=0 is the pre-split fused loop (the pre-PR serial renderer);
  * 1 is the serial two-phase pipeline; N>1 parallelizes phase 1. With
  * gate=1 the bench fails if the largest thread count is slower than
- * render_threads=1 (the CI perf-smoke contract).
+ * render_threads=1 (the CI perf-smoke contract). With record_budget=N
+ * the bench fails if any two-phase run's *encoded* record bytes exceed
+ * N — the CI guard against the stream codec regressing back toward
+ * raw-array sizes. sampler= selects the phase-1 sampling path
+ * (gpu.sampler); both must produce the identical image and cycles.
  *
- * BENCH_PERF.json schema ("texpim-perf-v1"): each entry of "runs"
+ * BENCH_PERF.json schema ("texpim-perf-v2"): each entry of "runs"
  * holds render_threads, wall_sec, fps, wall_phase1_sec,
- * wall_phase2_sec and record_bytes. The fused loop (render_threads=0)
- * has no phase split, so its wall_phase*_sec fields are JSON null —
- * never 0.0, which would read as "a phase took no time". Consumers
- * (tools/perf_history) must treat null as "not applicable".
+ * wall_phase2_sec, record_bytes (encoded stream bytes — what phase 1
+ * hands to phase 2) and record_bytes_decoded (the raw record arrays
+ * those streams decode to; the ratio is the codec's compression). The
+ * fused loop (render_threads=0) has no phase split or record streams,
+ * so its wall_phase*_sec fields are JSON null — never 0.0, which
+ * would read as "a phase took no time". Consumers (tools/perf_history)
+ * must treat null as "not applicable"; perf_history accepts v1 and v2
+ * snapshots interchangeably.
  */
 
 #include <chrono>
@@ -61,7 +70,8 @@ struct ThreadPoint
     double wallSec = 0.0; //!< best (min) renderScene wall over reps
     double phase1Sec = 0.0;
     double phase2Sec = 0.0;
-    u64 recordBytes = 0;
+    u64 recordBytes = 0;        //!< encoded stream bytes
+    u64 recordBytesDecoded = 0; //!< raw record-array bytes
     u64 frameCycles = 0;
     u64 imageHash = 0;
 };
@@ -103,6 +113,8 @@ main(int argc, char **argv)
     std::vector<unsigned> threads = {0, 1, 4};
     std::string out_path = "BENCH_PERF.json";
     bool gate = false;
+    u64 record_budget = 0; // 0 = no encoded-size gate
+    GpuParams::SamplerKind sampler = GpuParams::SamplerKind::Quad;
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -126,8 +138,21 @@ main(int argc, char **argv)
             out_path = v;
         else if (const char *v = val("gate"))
             gate = std::atoi(v) != 0;
+        else if (const char *v = val("record_budget"))
+            record_budget = u64(std::strtoull(v, nullptr, 10));
         else if (const char *v = val("design"))
             design = parseDesign(v);
+        else if (const char *v = val("sampler")) {
+            if (std::strcmp(v, "scalar") == 0)
+                sampler = GpuParams::SamplerKind::Scalar;
+            else if (std::strcmp(v, "quad") == 0)
+                sampler = GpuParams::SamplerKind::Quad;
+            else {
+                std::fprintf(stderr,
+                             "perf_render: unknown sampler '%s'\n", v);
+                return 2;
+            }
+        }
         else {
             std::fprintf(stderr, "perf_render: unknown arg '%s'\n", a);
             return 2;
@@ -159,6 +184,7 @@ main(int argc, char **argv)
             cfg.design = design;
             cfg.gpu.deterministicSchedule = true;
             cfg.gpu.renderThreads = t;
+            cfg.gpu.sampler = sampler;
             RenderingSimulator sim(cfg);
             double t0 = wallSeconds();
             SimResult res = sim.renderScene(scene);
@@ -169,6 +195,7 @@ main(int argc, char **argv)
                 pt.phase2Sec = res.frame.wallPhase2Sec;
             }
             pt.recordBytes = res.frame.recordBytes;
+            pt.recordBytesDecoded = res.frame.recordBytesDecoded;
             pt.frameCycles = res.frame.frameCycles;
             pt.imageHash = imageHash(*res.image);
         }
@@ -202,7 +229,10 @@ main(int argc, char **argv)
 
     JsonWriter w;
     w.beginObject();
-    w.keyValue("schema", "texpim-perf-v1");
+    w.keyValue("schema", "texpim-perf-v2");
+    w.keyValue("sampler", sampler == GpuParams::SamplerKind::Quad
+                              ? "quad"
+                              : "scalar");
     w.keyValue("bench", "perf_render");
     w.keyValue("workload", wl.label());
     w.keyValue("design", std::string(designName(design)));
@@ -230,6 +260,7 @@ main(int argc, char **argv)
             w.keyValue("wall_phase2_sec", pt.phase2Sec);
         }
         w.keyValue("record_bytes", pt.recordBytes);
+        w.keyValue("record_bytes_decoded", pt.recordBytesDecoded);
         w.endObject();
     }
     w.endArray();
@@ -239,6 +270,25 @@ main(int argc, char **argv)
 
     if (!identical)
         return 1;
+
+    if (record_budget > 0) {
+        // CI contract: the encoded replay streams must stay under the
+        // checked-in budget (a codec or batching regression shows up
+        // here long before wall time moves on a noisy runner).
+        for (const ThreadPoint &pt : points) {
+            if (pt.threads == 0)
+                continue; // fused loop records nothing
+            if (pt.recordBytes > record_budget) {
+                std::fprintf(stderr,
+                             "FAIL: render_threads=%u encoded record "
+                             "bytes %llu exceed budget %llu\n",
+                             pt.threads,
+                             (unsigned long long)pt.recordBytes,
+                             (unsigned long long)record_budget);
+                return 1;
+            }
+        }
+    }
 
     if (gate) {
         // CI contract: the widest pool must not be slower than the

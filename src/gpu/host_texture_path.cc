@@ -72,6 +72,45 @@ HostTexturePath::sample(const TexRequest &req, ReplayStream &stream,
     stream.samples.push_back(rec);
 }
 
+void
+HostTexturePath::sampleQuad(const TexRequest &base, const SampleCoords *coords,
+                            unsigned count, ReplayStream &stream,
+                            SamplerScratch &scratch) const
+{
+    TEXPIM_ASSERT(base.tex != nullptr, "texture request without texture");
+    TEXPIM_ASSERT(base.clusterId < params_.clusters, "bad cluster id");
+
+    // The quad sampler coalesces each lane's fetch trace to cache
+    // lines directly (same mask TagCache::lineAddr applies), yielding
+    // the identical sorted/deduplicated block list sample() derives
+    // from the scalar TexFetch vector.
+    const Addr mask = ~Addr(l1_[base.clusterId]->lineBytes() - 1);
+    QuadConvOut &out = scratch.quadConv;
+    sampleConventionalQuad(*base.tex, coords, count, base.mode, base.maxAniso,
+                           mask, out, scratch.offsetCache);
+
+    for (unsigned q = 0; q < count; ++q) {
+        TexSampleRec rec;
+        rec.color = out.color[q];
+        rec.texels = out.texels[q];
+        rec.filterOps = out.filterOps[q];
+        rec.anisoRatio = out.anisoRatio[q];
+        rec.route = out.route[q];
+        rec.blockOff = u32(stream.blocks.size());
+        rec.blockCount = out.blockCount[q];
+        stream.blocks.insert(stream.blocks.end(), out.blocks[q],
+                             out.blocks[q] + out.blockCount[q]);
+        stream.samples.push_back(rec);
+        // For the linear modes the sampler's computeLod *is* the
+        // renderer's probe (same arguments); Nearest filters at
+        // max_aniso 1, so the probe needs its own call.
+        scratch.quadProbeAniso[q] =
+            base.mode == FilterMode::Nearest
+                ? computeLod(*base.tex, coords[q], base.maxAniso).anisoRatio
+                : out.anisoRatio[q];
+    }
+}
+
 TexResponse
 HostTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
                         u32 idx)

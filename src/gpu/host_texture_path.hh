@@ -27,6 +27,9 @@ class HostTexturePath : public TexturePath
 
     void sample(const TexRequest &req, ReplayStream &stream,
                 SamplerScratch &scratch) const override;
+    void sampleQuad(const TexRequest &base, const SampleCoords *coords,
+                    unsigned count, ReplayStream &stream,
+                    SamplerScratch &scratch) const override;
     TexResponse replay(const TexRequest &req, const ReplayStream &stream,
                        u32 idx) override;
 

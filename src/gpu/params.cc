@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/logging.hh"
+
 namespace texpim {
 
 GpuParams
@@ -46,6 +48,11 @@ GpuParams::fromConfig(const Config &cfg)
         threads_default = std::atol(env);
     p.renderThreads =
         unsigned(cfg.getInt("gpu.render_threads", threads_default));
+    std::string sampler = cfg.getString("gpu.sampler", "quad");
+    TEXPIM_ASSERT(sampler == "quad" || sampler == "scalar",
+                  "gpu.sampler must be \"quad\" or \"scalar\", got \"",
+                  sampler, "\"");
+    p.sampler = sampler == "scalar" ? SamplerKind::Scalar : SamplerKind::Quad;
     return p;
 }
 
@@ -96,7 +103,7 @@ knownConfigKeys()
         "gpu.clusters", "gpu.deterministic_schedule",
         "gpu.fragment_cycles", "gpu.fragment_pipeline_cycles",
         "gpu.frequency_ghz", "gpu.max_inflight_tex",
-        "gpu.render_threads", "gpu.setup_cycles",
+        "gpu.render_threads", "gpu.sampler", "gpu.setup_cycles",
         "gpu.shaders_per_cluster", "gpu.tex_address_alus",
         "gpu.tex_filter_alus", "gpu.tex_l1_bytes", "gpu.tex_l1_latency",
         "gpu.tex_l1_ways", "gpu.tex_l2_bytes", "gpu.tex_l2_latency",

@@ -85,6 +85,20 @@ struct GpuParams
      */
     unsigned renderThreads = 1;
 
+    /**
+     * Phase-1 texture-sampling implementation. `Quad` (the default)
+     * batches shaded fragments into 2x2 screen quads and filters them
+     * through the SoA quad samplers (sampleConventionalQuad /
+     * sampleDecomposedQuad), which share texel fetches and vectorize
+     * the weight math; `Scalar` keeps the original one-fragment-at-a-
+     * time path as the differential-testing reference. Both produce
+     * bit-identical records, images and statistics — the knob only
+     * trades host wall clock. The fused loop (renderThreads == 0) is
+     * always scalar. Config key `gpu.sampler` = "quad" | "scalar".
+     */
+    enum class SamplerKind { Scalar, Quad };
+    SamplerKind sampler = SamplerKind::Quad;
+
     static GpuParams fromConfig(const Config &cfg);
 };
 

@@ -11,8 +11,36 @@
 #include "common/sim_context.hh"
 #include "common/trace_events.hh"
 #include "gpu/replay.hh"
+#include "gpu/replay_codec.hh"
 
 namespace texpim {
+
+namespace {
+
+/** One buffered fragment awaiting quad-batched sampling (quad path). */
+struct PendingFrag
+{
+    FragRecord fr;
+    SampleCoords coords{};       //!< base-layer sampling coordinates
+    SampleCoords detailCoords{}; //!< detail layer, when kHasDetail
+    i32 tmpBase = -1;   //!< base sample index in TileWorker::tmp
+    i32 tmpDetail = -1; //!< detail sample index in TileWorker::tmp
+};
+
+} // namespace
+
+/**
+ * Per-worker phase-1 state: the sampler scratch plus the quad path's
+ * batching buffers. One instance per worker thread; capacities persist
+ * across tiles so the steady state allocates nothing.
+ */
+struct Renderer::TileWorker
+{
+    SamplerScratch scratch;
+    std::vector<PendingFrag> pending; //!< one triangle's fragments
+    std::vector<u32> order;           //!< shaded pendings, quad-sorted
+    ReplayStream tmp;                 //!< quad-call output, pre-reorder
+};
 
 namespace {
 
@@ -434,10 +462,12 @@ Renderer::fusedLoop(FrameCtx &ctx, FrameStats &fs)
 }
 
 void
-Renderer::rasterizeTile(FrameCtx &ctx, u32 ti, SamplerScratch &scratch)
+Renderer::rasterizeTile(FrameCtx &ctx, u32 ti, TileWorker &worker)
 {
     const Scene &scene = ctx.scene;
     FrameBuffer &fb = ctx.fb;
+    SamplerScratch &scratch = worker.scratch;
+    const bool quad = params_.sampler == GpuParams::SamplerKind::Quad;
     TileRecord &rec = ctx.records[ti];
     auto &bin = ctx.bins[ti];
     // Same assignment binTilesToClusters used, so the recorded stream
@@ -478,6 +508,10 @@ Renderer::rasterizeTile(FrameCtx &ctx, u32 ti, SamplerScratch &scratch)
         unsigned py0 = std::max(int(y0), st.minY);
         unsigned py1 = std::min(int(y1) - 1, st.maxY);
 
+        i32 detail = ctx.detailOf[st.textureId];
+        if (quad)
+            worker.pending.clear();
+
         for (unsigned y = py0; y <= py1; ++y) {
             for (unsigned x = px0; x <= px1; ++x) {
                 if (!evalPixel(st, x, y, ctx.eye, kLightDir, frag))
@@ -491,45 +525,72 @@ Renderer::rasterizeTile(FrameCtx &ctx, u32 ti, SamplerScratch &scratch)
                 // regions, so this is the exact test the fused loop
                 // performs (phase 2 replays only the Z-cache traffic).
                 if (frag.depth >= fb.depth(x, y)) {
-                    rec.frags.push_back(fr);
+                    if (quad)
+                        worker.pending.push_back(PendingFrag{fr, {}, {}});
+                    else
+                        rec.frags.push_back(fr);
                     continue;
                 }
 
                 fr.flags = FragRecord::kShaded;
                 fr.angle = frag.cameraAngle;
                 fr.diffuse = frag.diffuse;
-                fr.sample = u32(rec.stream.samples.size());
-
-                TexRequest req;
-                req.tex = &scene.textures->texture(st.textureId);
-                req.coords.uv = frag.uv;
-                req.coords.ddx = frag.dUvDx;
-                req.coords.ddy = frag.dUvDy;
-                req.coords.cameraAngle = frag.cameraAngle;
-                req.mode = scene.settings.filterMode;
-                req.maxAniso = scene.settings.maxAniso;
-                req.clusterId = cluster;
-                tex_.sample(req, rec.stream, scratch);
-
-                // The renderer's own LOD probe (aniso-ratio telemetry;
-                // can differ from the sampler's for Nearest mode).
-                LodInfo lod = computeLod(*req.tex, req.coords, req.maxAniso);
-                fr.lodAniso = u8(lod.anisoRatio);
-
-                i32 detail = ctx.detailOf[st.textureId];
-                if (detail >= 0) {
-                    float s = ctx.detailScaleOf[st.textureId];
+                if (detail >= 0)
                     fr.flags |= FragRecord::kHasDetail;
-                    TexRequest dreq = req;
-                    dreq.tex = &scene.textures->texture(u32(detail));
-                    dreq.coords.uv = frag.uv * s;
-                    dreq.coords.ddx = frag.dUvDx * s;
-                    dreq.coords.ddy = frag.dUvDy * s;
-                    tex_.sample(dreq, rec.stream, scratch);
+
+                if (quad) {
+                    // Defer sampling: the triangle's fragments are
+                    // filtered in 2x2 quads at flushQuadBatch, and the
+                    // records re-emitted in this (raster) order.
+                    PendingFrag p;
+                    p.fr = fr;
+                    p.coords.uv = frag.uv;
+                    p.coords.ddx = frag.dUvDx;
+                    p.coords.ddy = frag.dUvDy;
+                    p.coords.cameraAngle = frag.cameraAngle;
+                    if (detail >= 0) {
+                        float s = ctx.detailScaleOf[st.textureId];
+                        p.detailCoords.uv = frag.uv * s;
+                        p.detailCoords.ddx = frag.dUvDx * s;
+                        p.detailCoords.ddy = frag.dUvDy * s;
+                        p.detailCoords.cameraAngle = frag.cameraAngle;
+                    }
+                    worker.pending.push_back(p);
+                } else {
+                    fr.sample = u32(rec.stream.samples.size());
+
+                    TexRequest req;
+                    req.tex = &scene.textures->texture(st.textureId);
+                    req.coords.uv = frag.uv;
+                    req.coords.ddx = frag.dUvDx;
+                    req.coords.ddy = frag.dUvDy;
+                    req.coords.cameraAngle = frag.cameraAngle;
+                    req.mode = scene.settings.filterMode;
+                    req.maxAniso = scene.settings.maxAniso;
+                    req.clusterId = cluster;
+                    tex_.sample(req, rec.stream, scratch);
+
+                    // The renderer's own LOD probe (aniso-ratio
+                    // telemetry; can differ from the sampler's for
+                    // Nearest mode).
+                    LodInfo lod =
+                        computeLod(*req.tex, req.coords, req.maxAniso);
+                    fr.lodAniso = u8(lod.anisoRatio);
+
+                    if (detail >= 0) {
+                        float s = ctx.detailScaleOf[st.textureId];
+                        TexRequest dreq = req;
+                        dreq.tex = &scene.textures->texture(u32(detail));
+                        dreq.coords.uv = frag.uv * s;
+                        dreq.coords.ddx = frag.dUvDx * s;
+                        dreq.coords.ddy = frag.dUvDy * s;
+                        tex_.sample(dreq, rec.stream, scratch);
+                    }
+
+                    rec.frags.push_back(fr);
                 }
 
                 fb.setDepth(x, y, frag.depth);
-                rec.frags.push_back(fr);
 
                 unsigned local = (y - y0) * (x1 - x0) + (x - x0);
                 if (!covered[local]) {
@@ -539,6 +600,9 @@ Renderer::rasterizeTile(FrameCtx &ctx, u32 ti, SamplerScratch &scratch)
             }
         }
 
+        if (quad)
+            flushQuadBatch(ctx, st, cluster, worker, rec);
+
         if (covered_count == tile_pixels) {
             tile_zmax = -1.0f;
             for (unsigned y = y0; y < y1; ++y)
@@ -546,6 +610,97 @@ Renderer::rasterizeTile(FrameCtx &ctx, u32 ti, SamplerScratch &scratch)
                     tile_zmax = std::max(tile_zmax, fb.depth(x, y));
         }
     }
+
+    // Compact the tile: between the phases the frame holds only the
+    // delta/varint-encoded stream; the raw arrays are released here
+    // and reconstructed tile by tile during replay.
+    rec.decodedBytes = rec.decodedSizeBytes();
+    encodeTileRecord(rec, rec.encoded);
+    rec.releaseDecoded();
+}
+
+void
+Renderer::flushQuadBatch(FrameCtx &ctx, const SetupTriangle &st,
+                         unsigned cluster, TileWorker &worker,
+                         TileRecord &rec)
+{
+    auto &pending = worker.pending;
+    if (pending.empty())
+        return;
+
+    // Group the shaded fragments by their 2x2 screen quad. Raster
+    // order visits a quad's two rows far apart, so sort by quad
+    // coordinate; stable_sort keeps same-quad fragments in raster
+    // order (equal keys: original order is the tie-break).
+    auto quadKey = [&](u32 i) {
+        const FragRecord &fr = pending[i].fr;
+        return (u32(fr.y >> 1) << 16) | u32(fr.x >> 1);
+    };
+    worker.order.clear();
+    for (u32 i = 0; i < pending.size(); ++i)
+        if ((pending[i].fr.flags & FragRecord::kShaded) != 0)
+            worker.order.push_back(i);
+    std::stable_sort(worker.order.begin(), worker.order.end(),
+                     [&](u32 a, u32 b) { return quadKey(a) < quadKey(b); });
+
+    const Scene &scene = ctx.scene;
+    i32 detail = ctx.detailOf[st.textureId];
+
+    TexRequest base;
+    base.tex = &scene.textures->texture(st.textureId);
+    base.mode = scene.settings.filterMode;
+    base.maxAniso = scene.settings.maxAniso;
+    base.clusterId = cluster;
+
+    worker.tmp.clear();
+    SampleCoords qc[kQuadLanes];
+    u32 lanes[kQuadLanes];
+    for (size_t s = 0; s < worker.order.size();) {
+        u32 key = quadKey(worker.order[s]);
+        unsigned n = 0;
+        while (s < worker.order.size() && n < kQuadLanes &&
+               quadKey(worker.order[s]) == key) {
+            lanes[n] = worker.order[s];
+            qc[n] = pending[lanes[n]].coords;
+            ++n;
+            ++s;
+        }
+
+        u32 b0 = u32(worker.tmp.samples.size());
+        tex_.sampleQuad(base, qc, n, worker.tmp, worker.scratch);
+        for (unsigned l = 0; l < n; ++l) {
+            pending[lanes[l]].tmpBase = i32(b0 + l);
+            // The sampleQuad contract fills the renderer's LOD probe
+            // (aniso-ratio telemetry) per lane.
+            pending[lanes[l]].fr.lodAniso =
+                u8(worker.scratch.quadProbeAniso[l]);
+        }
+
+        if (detail >= 0) {
+            TexRequest dbase = base;
+            dbase.tex = &scene.textures->texture(u32(detail));
+            for (unsigned l = 0; l < n; ++l)
+                qc[l] = pending[lanes[l]].detailCoords;
+            u32 d0 = u32(worker.tmp.samples.size());
+            tex_.sampleQuad(dbase, qc, n, worker.tmp, worker.scratch);
+            for (unsigned l = 0; l < n; ++l)
+                pending[lanes[l]].tmpDetail = i32(d0 + l);
+        }
+    }
+
+    // Emit in the original fragment order so the record layout is
+    // identical to the scalar path's.
+    for (PendingFrag &p : pending) {
+        FragRecord fr = p.fr;
+        if ((fr.flags & FragRecord::kShaded) != 0) {
+            fr.sample = u32(rec.stream.samples.size());
+            rec.stream.appendSampleFrom(worker.tmp, u32(p.tmpBase));
+            if ((fr.flags & FragRecord::kHasDetail) != 0)
+                rec.stream.appendSampleFrom(worker.tmp, u32(p.tmpDetail));
+        }
+        rec.frags.push_back(fr);
+    }
+    pending.clear();
 }
 
 void
@@ -566,20 +721,20 @@ Renderer::recordPhase(FrameCtx &ctx)
     threads = std::min<unsigned>(threads, std::max<size_t>(1, work.size()));
 
     if (threads == 1) {
-        SamplerScratch scratch;
+        TileWorker worker;
         for (u32 ti : work)
-            rasterizeTile(ctx, ti, scratch);
+            rasterizeTile(ctx, ti, worker);
         return;
     }
 
     std::atomic<size_t> cursor{0};
     auto drain = [&]() {
-        SamplerScratch scratch;
+        TileWorker worker;
         for (;;) {
             size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= work.size())
                 break;
-            rasterizeTile(ctx, work[i], scratch);
+            rasterizeTile(ctx, work[i], worker);
         }
     };
 
@@ -597,13 +752,29 @@ Renderer::replayPhase(FrameCtx &ctx, FrameStats &fs)
 {
     FrameBuffer &fb = ctx.fb;
 
+    // One reusable decode scratch for the whole (serial) phase: after
+    // the first few tiles its arrays stop growing, so decoding churns
+    // no allocator state.
+    TileRecord decoded;
+
     scheduleLoop(ctx, fs, [&](unsigned cluster, u32 ti, Cycle tile_start,
                               TileWork &w) {
         // Consuming end of the record-stream flow arrow (the producing
         // "s" event is emitted after recordPhase joins its workers).
         TEXPIM_TRACE_FLOW_END("replay", "tile_stream", cluster, tile_start,
                               ti);
-        const TileRecord &rec = ctx.records[ti];
+        const TileRecord &enc = ctx.records[ti];
+        bool ok;
+        {
+            // Wall-only zone (this phase is serial, so charging here
+            // respects rule D2; wall never enters the deterministic
+            // export).
+            TEXPIM_PROF_SCOPE(prof::kZoneDecode);
+            ok = decodeTileRecord(enc.encoded.data(), enc.encoded.size(),
+                                  decoded);
+        }
+        TEXPIM_ASSERT(ok, "tile ", ti, ": corrupt encoded replay stream");
+        const TileRecord &rec = decoded;
         fs.hierZTrianglesSkipped += rec.hierZSkipped;
 
         for (const FragRecord &fr : rec.frags) {
@@ -766,8 +937,18 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
         }
         fs.wallPhase2Sec = wallSeconds() - t1;
         fs.wallPhase1Sec = t1 - t0;
-        for (const TileRecord &rec : ctx.records)
-            fs.recordBytes += rec.footprintBytes();
+        // FNV-1a over the encoded tiles in tile-index order: a cheap
+        // fingerprint of the whole record stream, byte-invariant
+        // across gpu.render_threads (the stream-equivalence tests
+        // compare it between worker counts).
+        u64 h = 14695981039346656037ull;
+        for (const TileRecord &rec : ctx.records) {
+            fs.recordBytes += rec.encoded.size();
+            fs.recordBytesDecoded += rec.decodedBytes;
+            for (u8 b : rec.encoded)
+                h = (h ^ b) * 1099511628211ull;
+        }
+        fs.recordStreamHash = h;
     }
 
     Cycle end_compute = ctx.geomEnd;

@@ -56,7 +56,9 @@ struct FrameStats
     // zero when the fused (render_threads = 0) loop runs.
     double wallPhase1Sec = 0.0; //!< functional raster phase
     double wallPhase2Sec = 0.0; //!< timing replay phase
-    u64 recordBytes = 0;        //!< peak replay-record heap footprint
+    u64 recordBytes = 0;        //!< encoded replay-stream bytes (all tiles)
+    u64 recordBytesDecoded = 0; //!< decoded (raw-array) record bytes
+    u64 recordStreamHash = 0;   //!< FNV-1a over encoded tiles, tile order
 };
 
 class Renderer
@@ -116,7 +118,8 @@ class Renderer
         Cycle last_ = 0;
     };
 
-    struct FrameCtx; // per-frame working state, defined in renderer.cc
+    struct FrameCtx;   // per-frame working state, defined in renderer.cc
+    struct TileWorker; // per-worker phase-1 scratch, defined in renderer.cc
 
     /** Geometry phase: traffic + vertex shading + clip. Returns the
      *  cycle the phase drains and fills `tris`. */
@@ -124,9 +127,16 @@ class Renderer
                         std::vector<SetupTriangle> &tris, FrameStats &fs);
 
     /** Phase 1, one tile: rasterize, tile-local early Z, functional
-     *  texture sampling; fills ctx.records[ti]. Thread-safe across
-     *  distinct tiles (touches only tile-disjoint state). */
-    void rasterizeTile(FrameCtx &ctx, u32 ti, SamplerScratch &scratch);
+     *  texture sampling; fills (and then encodes) ctx.records[ti].
+     *  Thread-safe across distinct tiles (touches only tile-disjoint
+     *  state plus the caller-owned worker scratch). */
+    void rasterizeTile(FrameCtx &ctx, u32 ti, TileWorker &worker);
+
+    /** Quad path: filter one triangle's buffered fragments in 2x2
+     *  screen quads, then emit records in original fragment order. */
+    void flushQuadBatch(FrameCtx &ctx, const SetupTriangle &st,
+                        unsigned cluster, TileWorker &worker,
+                        TileRecord &rec);
 
     /** Phase 1 driver: rasterize every non-empty tile, on
      *  params_.renderThreads workers when > 1. */

@@ -101,6 +101,16 @@ struct ReplayStream
         childBlocks.clear();
     }
 
+    /**
+     * Append sample `idx` of `src` — including its block, parent and
+     * child-block slices — to this stream, rewriting the offsets. Used
+     * by the quad-batched rasterizer, which filters same-quad fragments
+     * together into a temporary stream and then emits the records in
+     * the original fragment order so the replayed stream is identical
+     * to the scalar path's.
+     */
+    void appendSampleFrom(const ReplayStream &src, u32 idx);
+
     /** Heap bytes the recorded arrays occupy (capacity, not size). */
     u64 footprintBytes() const;
 };
@@ -127,16 +137,36 @@ struct TileRecord
     ReplayStream stream;
     u64 hierZSkipped = 0; //!< triangles skipped by hierarchical Z
 
+    /**
+     * Delta/varint encoding of this tile's records (encodeTileRecord).
+     * In the two-phase renderer each worker encodes its tile at the
+     * end of rasterizeTile and releases the raw arrays, so between the
+     * phases a frame holds only the compact streams; phase 2 decodes
+     * tile by tile into one reusable scratch TileRecord.
+     */
+    std::vector<u8> encoded;
+    u64 decodedBytes = 0; //!< decodedSizeBytes() at encode time
+
     void
     clear()
     {
         frags.clear();
         stream.clear();
         hierZSkipped = 0;
+        encoded.clear();
+        decodedBytes = 0;
     }
+
+    /** Deallocate the raw record arrays (capacity back to zero),
+     *  keeping `encoded`; used after encoding a tile. */
+    void releaseDecoded();
 
     /** Heap bytes this tile's records occupy (capacity, not size). */
     u64 footprintBytes() const;
+
+    /** In-memory bytes of the decoded record arrays (size-based — the
+     *  bandwidth a consumer of the raw arrays would touch). */
+    u64 decodedSizeBytes() const;
 };
 
 } // namespace texpim

@@ -77,6 +77,34 @@ class TexturePath
                         SamplerScratch &scratch) const = 0;
 
     /**
+     * Phase 1, quad-batched: sample up to kQuadLanes requests that
+     * share everything but coordinates (the renderer batches the 2x2
+     * fragment quads of one triangle; `base` supplies the shared
+     * texture / mode / maxAniso / cluster) and append one TexSampleRec
+     * per lane, in lane order. Must be semantically identical to
+     * calling sample() per lane — this default does exactly that; the
+     * concrete paths override it with the quad-SoA fast path whose
+     * per-lane results are bit-identical to the scalar sampler. Every
+     * implementation also fills scratch.quadProbeAniso[0..count) with
+     * the renderer's LOD-probe aniso ratio
+     * (computeLod(tex, coords, maxAniso).anisoRatio) per lane. Pure,
+     * like sample().
+     */
+    virtual void
+    sampleQuad(const TexRequest &base, const SampleCoords *coords,
+               unsigned count, ReplayStream &stream,
+               SamplerScratch &scratch) const
+    {
+        for (unsigned q = 0; q < count; ++q) {
+            TexRequest req = base;
+            req.coords = coords[q];
+            sample(req, stream, scratch);
+            scratch.quadProbeAniso[q] =
+                computeLod(*base.tex, coords[q], base.maxAniso).anisoRatio;
+        }
+    }
+
+    /**
      * Phase 2 — timing half. Replay record `idx` of `stream` through
      * the caches, pipelines and memory system, updating every
      * statistic exactly as the fused path did. Serial only. `req`

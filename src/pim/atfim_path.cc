@@ -131,6 +131,54 @@ AtfimTexturePath::sample(const TexRequest &req, ReplayStream &stream,
     stream.samples.push_back(rec);
 }
 
+void
+AtfimTexturePath::sampleQuad(const TexRequest &base, const SampleCoords *coords,
+                             unsigned count, ReplayStream &stream,
+                             SamplerScratch &scratch) const
+{
+    TEXPIM_ASSERT(base.tex != nullptr, "texture request without texture");
+    TEXPIM_ASSERT(base.clusterId < l1_.size(), "bad cluster id");
+    TEXPIM_ASSERT(base.mode != FilterMode::Nearest,
+                  "A-TFIM requires a linear filter mode");
+
+    const Addr mask = ~Addr(atfim_.childFetchGranularityBytes - 1);
+    QuadDecompOut &out = scratch.quadDecomp;
+    sampleDecomposedQuad(*base.tex, coords, count, base.mode, base.maxAniso,
+                         mask, out, scratch.offsetCache);
+
+    for (unsigned q = 0; q < count; ++q) {
+        unsigned n = out.anisoRatio[q];
+        TexSampleRec rec;
+        rec.color = out.color[q];
+        rec.anisoRatio = n;
+        rec.hostFilterOps = out.hostFilterOps[q];
+        rec.numLevels = out.numLevels[q];
+        rec.fx[0] = out.fx[q][0];
+        rec.fx[1] = out.fx[q][1];
+        rec.fy[0] = out.fy[q][0];
+        rec.fy[1] = out.fy[q][1];
+        rec.levelWeight = out.levelWeight[q];
+
+        rec.parentOff = u32(stream.parents.size());
+        rec.parentCount = out.parentCount[q];
+        for (unsigned p = 0; p < out.parentCount[q]; ++p) {
+            ParentRec pr;
+            pr.addr = out.parentAddr[q][p];
+            pr.value = out.parentValue[q][p];
+            pr.childKey = out.childKey[q][p];
+            pr.childOff = u32(stream.childBlocks.size());
+            pr.childCount = n;
+            const Addr *cb = out.childBlocks[q] + size_t(p) * n;
+            stream.childBlocks.insert(stream.childBlocks.end(), cb, cb + n);
+            stream.parents.push_back(pr);
+        }
+        stream.samples.push_back(rec);
+        // Linear modes only here, so the sampler's computeLod is the
+        // renderer's probe.
+        scratch.quadProbeAniso[q] = n;
+    }
+}
+
 TexResponse
 AtfimTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
                          u32 idx)

@@ -57,6 +57,9 @@ class StfimTexturePath : public TexturePath
 
     void sample(const TexRequest &req, ReplayStream &stream,
                 SamplerScratch &scratch) const override;
+    void sampleQuad(const TexRequest &base, const SampleCoords *coords,
+                    unsigned count, ReplayStream &stream,
+                    SamplerScratch &scratch) const override;
     TexResponse replay(const TexRequest &req, const ReplayStream &stream,
                        u32 idx) override;
 

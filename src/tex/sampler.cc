@@ -4,65 +4,27 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "tex/sampler_detail.hh"
 
 namespace texpim {
 
 namespace {
 
-constexpr float kMinFootprint = 1e-6f;
+using sdetail::kMinFootprint;
+using sdetail::LevelGeom;
+using sdetail::levelGeom;
 
-/** Per-level sampling geometry shared by both filtering orders. */
-struct LevelGeom
-{
-    unsigned level;
-    int x0, y0;     //!< integer corner of the center bilinear footprint
-    float fx, fy;   //!< bilinear weights (identical for all samples)
-};
-
-LevelGeom
-levelGeom(const Texture &tex, Vec2 uv, unsigned level)
-{
-    const TextureImage &img = tex.level(level);
-    float sx = uv.x * float(img.width()) - 0.5f;
-    float sy = uv.y * float(img.height()) - 0.5f;
-    float flx = std::floor(sx);
-    float fly = std::floor(sy);
-    return {level, int(flx), int(fly), sx - flx, sy - fly};
-}
-
-/**
- * Integer texel offsets of the N anisotropic footprint samples at one
- * mip level. Sample i sits at t_i = (i + 0.5)/N - 0.5 along the major
- * axis, and the footprint spans exactly N texels of the level (the
- * mip level was chosen as log2(major/N), so the residual footprint is
- * N..2N texels; hardware samples the canonical N).
- *
- * Crucially the offsets depend only on (N, quantized direction) — not
- * on the raw footprint length — so the child-texel set of a parent is
- * a canonical function of the surface's camera angle, which is what
- * makes A-TFIM's angle-thresholded reuse of in-memory results exact
- * for angle-equal pixels (§V-C).
- */
+/** Vector wrapper over sdetail::anisoOffsetsCached (the quad sampler
+ *  writes into fixed lane arrays; the scalar path keeps its scratch
+ *  vectors). */
 void
 anisoOffsets(const Texture &tex, const LodInfo &lod, unsigned level,
-             unsigned n, std::vector<std::pair<int, int>> &out)
+             unsigned n, SamplerScratch &scratch,
+             std::vector<std::pair<int, int>> &out)
 {
-    out.clear();
-    const TextureImage &img = tex.level(level);
-    // Unit direction in this level's texel space, scaled to span N.
-    Vec2 d{lod.majorDirUv.x * float(img.width()),
-           lod.majorDirUv.y * float(img.height())};
-    float len = d.length();
-    if (len <= 0.0f)
-        d = {1.0f, 0.0f};
-    else
-        d = d / len;
-    float span = lod.footprintSpan;
-    for (unsigned i = 0; i < n; ++i) {
-        float t = (float(i) + 0.5f) / float(n) - 0.5f;
-        out.emplace_back(int(std::lround(t * span * d.x)),
-                         int(std::lround(t * span * d.y)));
-    }
+    out.resize(n);
+    sdetail::anisoOffsetsCached(tex, lod, level, n, scratch.offsetCache,
+                                out.data());
 }
 
 ColorF
@@ -105,16 +67,36 @@ nextPow2(unsigned v)
 constexpr unsigned kDirBuckets = 8;
 constexpr float kTau = 6.283185307179586f;
 
-/** Camera angle quantized to the 1-degree storage resolution the
- *  texture caches use (SVII-E); mirrors cache/tag_cache.cc without a
- *  layering dependency. */
-float
-storageQuantizedAngle(float radians)
+/**
+ * Immutable transcendental tables over computeLod's quantized domains.
+ * Every entry is the exact libm call the inline expression used to
+ * make, evaluated over the full (small) quantized input range at
+ * startup — the argument values are bit-identical (small integers are
+ * exact in float, and /2.0f of an integral float equals *0.5f), so the
+ * looked-up results are bit-identical too. const after construction
+ * (immutable static — no D4 determinism hazard), saving four libm
+ * calls per computeLod on the phase-1 hot path.
+ */
+const struct LodTables
 {
-    constexpr float kDegPerRad = 57.29577951308232f;
-    float deg = std::round(std::fabs(radians) * kDegPerRad);
-    return std::min(deg, 127.0f) / kDegPerRad;
-}
+    static constexpr float kDegPerRad = 57.29577951308232f;
+    float cosDeg[128];    //!< cos(d / kDegPerRad), d = 0..127
+    float cosBucket[9];   //!< cos(b * kTau / kDirBuckets), b = -4..4
+    float sinBucket[9];   //!< sin(b * kTau / kDirBuckets), b = -4..4
+    float exp2Half[129];  //!< exp2(k * 0.5f), k = -64..64
+
+    LodTables()
+    {
+        for (int d = 0; d < 128; ++d)
+            cosDeg[d] = std::cos(float(d) / kDegPerRad);
+        for (int b = -4; b <= 4; ++b) {
+            cosBucket[b + 4] = std::cos(float(b) * kTau / float(kDirBuckets));
+            sinBucket[b + 4] = std::sin(float(b) * kTau / float(kDirBuckets));
+        }
+        for (int k = -64; k <= 64; ++k)
+            exp2Half[k + 64] = std::exp2(float(k) * 0.5f);
+    }
+} kLodTables;
 
 } // namespace
 
@@ -153,10 +135,16 @@ computeLod(const Texture &tex, const SampleCoords &coords, unsigned max_aniso)
         float ratio;
         if (coords.cameraAngle > 0.0f) {
             // Use the *storage-quantized* angle (1-degree buckets,
-            // SVII-E) so every pixel in an angle bucket derives the
-            // identical footprint — the property A-TFIM's reuse needs.
-            float qa = storageQuantizedAngle(coords.cameraAngle);
-            float c = std::max(std::cos(qa), 1.0f / float(max_aniso));
+            // SVII-E, mirroring cache/tag_cache.cc) so every pixel in
+            // an angle bucket derives the identical footprint — the
+            // property A-TFIM's reuse needs. cos over the 128
+            // quantized angles comes from LodTables (bit-identical to
+            // calling cos on the quantized angle directly).
+            float deg = std::round(std::fabs(coords.cameraAngle) *
+                                   LodTables::kDegPerRad);
+            int di = int(std::min(deg, 127.0f));
+            float c =
+                std::max(kLodTables.cosDeg[di], 1.0f / float(max_aniso));
             ratio = 1.0f / c;
         } else {
             ratio = major / minor;
@@ -177,13 +165,19 @@ computeLod(const Texture &tex, const SampleCoords &coords, unsigned max_aniso)
     Vec2 dir = mlen > 0.0f ? major_uv / mlen : Vec2{1.0f, 0.0f};
     float ang = std::atan2(dir.y, dir.x);
     float bucket = std::round(ang / kTau * float(kDirBuckets));
-    float qang = bucket * kTau / float(kDirBuckets);
-    lod.majorDirUv = {std::cos(qang), std::sin(qang)};
+    // ang in [-pi, pi] puts the bucket in [-4, 4]; cos/sin of the nine
+    // compass directions come from LodTables (bit-identical).
+    int bi = std::clamp(int(bucket), -4, 4) + 4;
+    lod.majorDirUv = {kLodTables.cosBucket[bi], kLodTables.sinBucket[bi]};
 
     // Quantize the footprint length to half-octaves so the child
-    // offsets are canonical too.
-    float qmajor = std::exp2(
-        std::round(std::log2(std::max(major, kMinFootprint)) * 2.0f) / 2.0f);
+    // offsets are canonical too. exp2 over the in-range half-octave
+    // grid comes from LodTables (bit-identical).
+    float k2 =
+        std::round(std::log2(std::max(major, kMinFootprint)) * 2.0f);
+    float qmajor = k2 >= -64.0f && k2 <= 64.0f
+                       ? kLodTables.exp2Half[int(k2) + 64]
+                       : std::exp2(k2 / 2.0f);
     lod.majorLenTexels = qmajor;
 
     float eff = qmajor / float(lod.anisoRatio);
@@ -231,8 +225,8 @@ sampleConventional(const Texture &tex, const SampleCoords &coords,
 
     std::vector<std::pair<int, int>> &off0 = scratch.off0;
     std::vector<std::pair<int, int>> &off1 = scratch.off1;
-    anisoOffsets(tex, lod, l0, n, off0);
-    anisoOffsets(tex, lod, l1, n, off1);
+    anisoOffsets(tex, lod, l0, n, scratch, off0);
+    anisoOffsets(tex, lod, l1, n, scratch, off1);
 
     bool ewa = mode == FilterMode::TrilinearEwa;
     ColorF acc{0.0f, 0.0f, 0.0f, 0.0f};
@@ -311,7 +305,7 @@ sampleDecomposed(const Texture &tex, const SampleCoords &coords,
         LevelGeom g = levelGeom(tex, coords.uv, l);
         out.fx[li] = g.fx;
         out.fy[li] = g.fy;
-        anisoOffsets(tex, lod, l, n, offs);
+        anisoOffsets(tex, lod, l, n, scratch, offs);
 
         ColorF corner_vals[4];
         for (unsigned j = 0; j < 4; ++j) {

@@ -144,6 +144,85 @@ struct LodInfo
 LodInfo computeLod(const Texture &tex, const SampleCoords &coords,
                    unsigned max_aniso);
 
+// ---------------------------------------------------------------------
+// Quad-SoA sampling (the mesa-llvmpipe lp_bld_sample_soa idiom): the
+// renderer batches the shaded fragments of one triangle into 2x2
+// screen quads whose lanes share texture, filter mode and max
+// anisotropy, and the samplers below filter up to four lanes per call
+// with structure-of-arrays accumulation. Every per-lane FP expression
+// tree is identical to the scalar sampleConventional/sampleDecomposed
+// path (same helpers, same evaluation order, -ffp-contract=off), so
+// results are bit-identical — the property the differential test
+// suite (tests/tex/test_sampler_quad.cc) pins down.
+// ---------------------------------------------------------------------
+
+constexpr unsigned kQuadLanes = 4;
+
+/** Hard bound on the anisotropic ratio the quad path's fixed lane
+ *  arrays accommodate (2x the largest defaultMaxAniso). */
+constexpr unsigned kQuadMaxAniso = 32;
+
+/** Max texel fetches one lane records: N samples x 4 corners x 2 mip
+ *  levels. */
+constexpr unsigned kQuadMaxFetches = kQuadMaxAniso * 4 * 2;
+
+/** Per-lane outputs of sampleConventionalQuad, SoA layout. */
+struct QuadConvOut
+{
+    ColorF color[kQuadLanes];
+    Addr route[kQuadLanes]; //!< first (unsorted) texel fetch address
+    u32 texels[kQuadLanes];
+    u32 filterOps[kQuadLanes];
+    u32 anisoRatio[kQuadLanes];
+    u32 blockCount[kQuadLanes]; //!< after sort + dedup
+    Addr blocks[kQuadLanes][kQuadMaxFetches]; //!< masked, sorted, unique
+};
+
+constexpr unsigned kQuadMaxParents = 8; //!< 4 corners x up to 2 levels
+constexpr unsigned kQuadMaxChildren = kQuadMaxParents * kQuadMaxAniso;
+
+/** Per-lane outputs of sampleDecomposedQuad, SoA layout. Children of
+ *  parent p occupy childBlocks[lane][p*N .. p*N+N) where N is the
+ *  lane's anisoRatio (every parent of a lane has exactly N children). */
+struct QuadDecompOut
+{
+    ColorF color[kQuadLanes];
+    u32 anisoRatio[kQuadLanes];
+    u32 hostFilterOps[kQuadLanes];
+    u8 numLevels[kQuadLanes];
+    float fx[kQuadLanes][2];
+    float fy[kQuadLanes][2];
+    float levelWeight[kQuadLanes];
+    u32 parentCount[kQuadLanes];
+    Addr parentAddr[kQuadLanes][kQuadMaxParents];
+    ColorF parentValue[kQuadLanes][kQuadMaxParents];
+    u32 childKey[kQuadLanes][kQuadMaxParents];
+    Addr childBlocks[kQuadLanes][kQuadMaxChildren]; //!< masked, dup-preserving
+};
+
+/**
+ * Memo table for the anisotropic footprint offsets
+ * (sdetail::anisoOffsetsInto): the offsets are a pure function of
+ * (major direction, footprint span, N, level size), and the LOD unit
+ * quantizes the direction to compass buckets and N to powers of two,
+ * so a handful of distinct tables cover whole surfaces — while a cold
+ * computation costs a sqrt plus 2N lround libm calls per mip level of
+ * every request. Direct-mapped, per-thread (inside SamplerScratch);
+ * collisions merely recompute, so hit patterns never affect results.
+ */
+struct AnisoOffsetCache
+{
+    struct Entry
+    {
+        u32 dirx = 0, diry = 0, span = 0; //!< float bits of the key
+        u32 n = 0;                        //!< 0 marks an empty slot
+        u32 w = 0, h = 0;                 //!< level dimensions
+        std::pair<int, int> offs[kQuadMaxAniso];
+    };
+    static constexpr u32 kSlots = 64;
+    Entry slots[kSlots];
+};
+
 /**
  * Caller-owned scratch buffers reused across fragments, so the hot
  * sampling loops perform no per-fragment heap allocation after warmup.
@@ -155,10 +234,22 @@ struct SamplerScratch
     std::vector<std::pair<int, int>> off0; //!< aniso offsets, level 0
     std::vector<std::pair<int, int>> off1; //!< aniso offsets, level 1
 
+    AnisoOffsetCache offsetCache; //!< footprint-offset memo table
+
     // Result buffers for callers that only need the records
     // transiently (the texture paths' functional sample step).
     SampleResult conventional;
     DecomposedSampleResult decomposed;
+
+    // Quad-path result buffers (TexturePath::sampleQuad overrides).
+    QuadConvOut quadConv;
+    QuadDecompOut quadDecomp;
+
+    /** Per-lane renderer LOD-probe aniso ratio, filled by every
+     *  TexturePath::sampleQuad implementation so the renderer's quad
+     *  path reuses the sampler's computeLod instead of re-deriving it
+     *  (identical by purity of computeLod). */
+    u32 quadProbeAniso[kQuadLanes] = {1, 1, 1, 1};
 };
 
 /**
@@ -199,6 +290,33 @@ sampleDecomposed(const Texture &tex, const SampleCoords &coords,
     SamplerScratch scratch;
     sampleDecomposed(tex, coords, mode, max_aniso, out, scratch);
 }
+
+/**
+ * Conventional filtering of up to kQuadLanes lanes sharing (texture,
+ * mode, max_aniso), bit-identical per lane to sampleConventional.
+ * Instead of a TexFetch vector, each lane's fetch addresses are masked
+ * with `block_mask` (the caller's cache-line / DRAM-burst mask),
+ * sorted and deduplicated in place in `out.blocks` — the same
+ * canonical block list the texture paths derive from the scalar fetch
+ * trace, computed without the intermediate vector.
+ */
+void sampleConventionalQuad(const Texture &tex, const SampleCoords *coords,
+                            unsigned count, FilterMode mode,
+                            unsigned max_aniso, Addr block_mask,
+                            QuadConvOut &out, AnisoOffsetCache &ocache);
+
+/**
+ * A-TFIM-decomposed filtering of up to kQuadLanes lanes, bit-identical
+ * per lane to sampleDecomposed. Child addresses are masked with
+ * `child_mask` (DRAM-burst granularity) but kept duplicate-preserving
+ * and in per-parent order, exactly as AtfimTexturePath::sample records
+ * them; childKey hashes the *unmasked* child addresses as the scalar
+ * path does.
+ */
+void sampleDecomposedQuad(const Texture &tex, const SampleCoords *coords,
+                          unsigned count, FilterMode mode,
+                          unsigned max_aniso, Addr child_mask,
+                          QuadDecompOut &out, AnisoOffsetCache &ocache);
 
 } // namespace texpim
 

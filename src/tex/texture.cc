@@ -98,6 +98,17 @@ Texture::Texture(std::string name, TextureImage base, Addr base_addr,
                    : u64(l.width()) * l.height() * kBytesPerTexel;
     }
     byte_size_ = off;
+
+    // Pre-unpack every level (post-round-trip for BC1) for the hot
+    // sampling loops; see the float_levels_ member comment.
+    float_levels_.reserve(levels_.size());
+    for (const auto &l : levels_) {
+        std::vector<ColorF> fl;
+        fl.reserve(l.pixels().size());
+        for (Rgba8 p : l.pixels())
+            fl.push_back(unpackColor(p));
+        float_levels_.push_back(std::move(fl));
+    }
 }
 
 namespace {
@@ -112,20 +123,27 @@ u64
 mortonIndex(unsigned x, unsigned y, unsigned width, unsigned height)
 {
     unsigned common = std::min(width, height);
-    u64 idx = 0;
-    unsigned bit = 0;
     unsigned shared_bits = 0;
     for (unsigned m = 1; m < common; m <<= 1)
         ++shared_bits;
-    for (unsigned b = 0; b < shared_bits; ++b) {
-        idx |= u64((x >> b) & 1) << bit++;
-        idx |= u64((y >> b) & 1) << bit++;
-    }
+    u64 low_mask = (u64(1) << shared_bits) - 1;
+    u64 idx = detail::part1by1(x & low_mask) |
+              (detail::part1by1(y & low_mask) << 1);
     if (width > height)
-        idx |= u64(x >> shared_bits) << bit;
+        idx |= u64(x >> shared_bits) << (2 * shared_bits);
     else if (height > width)
-        idx |= u64(y >> shared_bits) << bit;
+        idx |= u64(y >> shared_bits) << (2 * shared_bits);
     return idx;
+}
+
+unsigned
+log2PowerOfTwo(unsigned v)
+{
+    TEXPIM_ASSERT(isPowerOfTwo(v), "log2 of non-power-of-two ", v);
+    unsigned b = 0;
+    while ((1u << b) < v)
+        ++b;
+    return b;
 }
 
 } // namespace
@@ -146,6 +164,33 @@ Texture::texelAddr(unsigned l, int x, int y) const
     }
     return base_addr_ + level_offsets_[l] +
            mortonIndex(wx, wy, img.width(), img.height()) * kBytesPerTexel;
+}
+
+MipView
+Texture::mipView(unsigned l) const
+{
+    const TextureImage &img = level(l);
+    MipView v;
+    v.pixelsF = float_levels_[l].data();
+    v.levelBase = base_addr_ + level_offsets_.at(l);
+    v.xMask = img.width() - 1;
+    v.yMask = img.height() - 1;
+    v.rowShift = log2PowerOfTwo(img.width());
+    if (format_ == TexelFormat::Bc1) {
+        unsigned bw = std::max(1u, (img.width() + 3) / 4);
+        unsigned bh = std::max(1u, (img.height() + 3) / 4);
+        v.coordShift = 2;
+        v.unitShift = 3; // sizeof(Bc1Block) == 8
+        v.sharedBits = log2PowerOfTwo(std::min(bw, bh));
+        v.xMajor = bw > bh;
+    } else {
+        v.coordShift = 0;
+        v.unitShift = 2; // kBytesPerTexel == 4
+        v.sharedBits = log2PowerOfTwo(std::min(img.width(), img.height()));
+        v.xMajor = img.width() > img.height();
+    }
+    v.lowMask = (1u << v.sharedBits) - 1;
+    return v;
 }
 
 Rgba8

@@ -33,15 +33,15 @@ namespace {
 constexpr unsigned kWidth = 320;
 constexpr unsigned kHeight = 240;
 
-/** The same spec `texpim sweep doom3 width=320 height=240
+/** The same spec `texpim sweep <game> width=320 height=240
  *  gpu.deterministic_schedule=1` builds. */
 ExperimentSpec
-goldenSpec(Design d)
+goldenSpec(Design d, Game game = Game::Doom3)
 {
     ExperimentSpec spec;
     spec.config.design = d;
     spec.config.gpu.deterministicSchedule = true;
-    spec.workload = Workload{Game::Doom3, kWidth, kHeight};
+    spec.workload = Workload{game, kWidth, kHeight};
     spec.frame = 3;
     spec.seed = 0x7e01d;
     spec.maxAniso = 0; // defaultMaxAniso(320)
@@ -70,6 +70,18 @@ const Golden kGoldens[] = {
     {Design::BPim, 0x5cc24ff74d8da65aull},
     {Design::STfim, 0x5cc24ff74d8da65aull},
     {Design::ATfim, 0xd043d5e2285cf9cfull},
+};
+
+// Second workload: Half-Life 2 at the same 320x240/frame-3 spec
+// (`texpim sweep hl2 width=320 height=240 gpu.deterministic_schedule=1`).
+// Doom3's corridor geometry leans on oblique anisotropy; HL2's profile
+// weights the detail-texture layer and different filter settings, so a
+// regression that happens to cancel out on Doom3 still trips here.
+const Golden kGoldensHl2[] = {
+    {Design::Baseline, 0x3a10fe761ff574fdull},
+    {Design::BPim, 0x3a10fe761ff574fdull},
+    {Design::STfim, 0x3a10fe761ff574fdull},
+    {Design::ATfim, 0xb89eefd3e6b4ad90ull},
 };
 
 class GoldenImages : public ::testing::Test
@@ -101,6 +113,29 @@ TEST_F(GoldenImages, AllDesignsMatchCheckedInHashes)
             << designName(g.design) << " rendered a different image; "
             << "if intentional, regenerate the goldens (see file "
             << "comment). got 0x" << std::hex << r.imageFnv1a;
+    }
+}
+
+TEST_F(GoldenImages, HalfLife2MatchesCheckedInHashes)
+{
+    // One render per design; exact designs must also agree with each
+    // other, as on Doom3.
+    u64 exact_hash = 0;
+    for (const Golden &g : kGoldensHl2) {
+        SimContext ctx;
+        SimContext::Scope scope(ctx);
+        ExperimentResult r =
+            ExperimentRunner::runOne(goldenSpec(g.design, Game::HalfLife2));
+        EXPECT_EQ(r.imageFnv1a, g.hash)
+            << designName(g.design) << " rendered a different HL2 image; "
+            << "if intentional, regenerate with `texpim sweep hl2 "
+            << "width=320 height=240 gpu.deterministic_schedule=1`. got 0x"
+            << std::hex << r.imageFnv1a;
+        if (g.design != Design::ATfim) {
+            if (exact_hash == 0)
+                exact_hash = r.imageFnv1a;
+            EXPECT_EQ(r.imageFnv1a, exact_hash) << designName(g.design);
+        }
     }
 }
 

@@ -3,7 +3,9 @@
  * Performance-trajectory tool for the perf-smoke CI job.
  *
  * BENCH_PERF.json (written by bench/perf_render, schema
- * "texpim-perf-v1") is a single snapshot; this tool turns the
+ * "texpim-perf-v1" or "texpim-perf-v2" — v2 adds per-run
+ * record_bytes_decoded and a sampler field, neither of which this
+ * tool summarizes) is a single snapshot; this tool turns the
  * snapshots into a trajectory:
  *
  *   perf_history append <BENCH_PERF.json> <history.jsonl> [label=...]
@@ -290,8 +292,13 @@ readFile(const std::string &path, std::string &out)
 bool
 summarize(const JsonValue &perf, Summary &out)
 {
-    if (perf.str("schema") != "texpim-perf-v1") {
-        std::fprintf(stderr, "perf_history: not a texpim-perf-v1 file\n");
+    // v2 adds record_bytes_decoded per run and a sampler field; the
+    // headline numbers this tool tracks are identical in both, so old
+    // history lines remain comparable across the schema bump.
+    const std::string schema = perf.str("schema");
+    if (schema != "texpim-perf-v1" && schema != "texpim-perf-v2") {
+        std::fprintf(stderr,
+                     "perf_history: not a texpim-perf-v1/v2 file\n");
         return false;
     }
     out.workload = perf.str("workload");
