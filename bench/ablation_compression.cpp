@@ -51,8 +51,15 @@ main(int argc, char **argv)
         Design design;
         bool compress;
     };
+    // The full {off, BC1} x design grid (the uncompressed baseline is
+    // the reference column above): compression must compose with every
+    // design, not just the endpoints.
     const Cell cells[] = {
         {"base+BC1", Design::Baseline, true},
+        {"B-PIM", Design::BPim, false},
+        {"B-PIM+BC1", Design::BPim, true},
+        {"S-TFIM", Design::STfim, false},
+        {"S-TFIM+BC1", Design::STfim, true},
         {"A-TFIM", Design::ATfim, false},
         {"A-TFIM+BC1", Design::ATfim, true},
     };

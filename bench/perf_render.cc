@@ -15,17 +15,32 @@
  *   perf_render [width=640] [height=480] [frame=3] [design=baseline]
  *               [threads=0,1,4] [reps=3] [out=BENCH_PERF.json] [gate=0]
  *               [sampler=quad|scalar] [record_budget=0]
+ *               [frames=0] [depths=1,2,4] [seq_threads=4] [seq_gate=0]
  *
  * threads=0 is the pre-split fused loop (the pre-PR serial renderer);
  * 1 is the serial two-phase pipeline; N>1 parallelizes phase 1. With
  * gate=1 the bench fails if the largest thread count is slower than
- * render_threads=1 (the CI perf-smoke contract). With record_budget=N
- * the bench fails if any two-phase run's *encoded* record bytes exceed
- * N — the CI guard against the stream codec regressing back toward
- * raw-array sizes. sampler= selects the phase-1 sampling path
- * (gpu.sampler); both must produce the identical image and cycles.
+ * render_threads=1 beyond a noise band — and on a host without at
+ * least 2 cores the band widens to a thread-overhead bound, because a
+ * parallel phase 1 cannot be faster there, only not-pathological.
+ * With record_budget=N the bench fails if any two-phase run's
+ * *encoded* record bytes exceed N — the CI guard against the stream
+ * codec regressing back toward raw-array sizes. sampler= selects the
+ * phase-1 sampling path (gpu.sampler); both must produce the
+ * identical image and cycles.
  *
- * BENCH_PERF.json schema ("texpim-perf-v2"): each entry of "runs"
+ * With frames=N > 0 the bench additionally times an N-frame camera-
+ * path sequence (renderSequence) at each gpu.pipeline_depth in
+ * depths=, with seq_threads render threads, and records a "sequence"
+ * object in the same JSON: per-depth wall_sec and fps
+ * (frames per second of simulated frames), plus the inter-frame reuse
+ * totals. Per-frame images and cycles must be bit-identical across
+ * every depth (always enforced). seq_gate=X additionally requires the
+ * best pipelined (depth > 1) fps to be at least X times the depth-1
+ * fps — enforced only when the host has >= 2 cores and seq_threads
+ * >= 2, since phase overlap needs real parallelism.
+ *
+ * BENCH_PERF.json schema ("texpim-perf-v3"): each entry of "runs"
  * holds render_threads, wall_sec, fps, wall_phase1_sec,
  * wall_phase2_sec, record_bytes (encoded stream bytes — what phase 1
  * hands to phase 2) and record_bytes_decoded (the raw record arrays
@@ -33,8 +48,9 @@
  * fused loop (render_threads=0) has no phase split or record streams,
  * so its wall_phase*_sec fields are JSON null — never 0.0, which
  * would read as "a phase took no time". Consumers (tools/perf_history)
- * must treat null as "not applicable"; perf_history accepts v1 and v2
- * snapshots interchangeably.
+ * must treat null as "not applicable"; perf_history accepts v1, v2
+ * and v3 snapshots interchangeably. v3 adds the optional "sequence"
+ * object described above (absent when frames=0).
  */
 
 #include <chrono>
@@ -76,6 +92,16 @@ struct ThreadPoint
     u64 imageHash = 0;
 };
 
+struct DepthPoint
+{
+    unsigned depth = 0;
+    double wallSec = 0.0; //!< best (min) renderSequence wall over reps
+    std::vector<u64> hashes;   //!< per-frame image hashes
+    std::vector<u64> cycles;   //!< per-frame cycle counts
+    u64 tagHits = 0;           //!< inter-frame tag hits, summed
+    u64 reusedPrev = 0;        //!< blocks reused from previous frame
+};
+
 Design
 parseDesign(const std::string &d)
 {
@@ -115,6 +141,10 @@ main(int argc, char **argv)
     bool gate = false;
     u64 record_budget = 0; // 0 = no encoded-size gate
     GpuParams::SamplerKind sampler = GpuParams::SamplerKind::Quad;
+    unsigned seq_frames = 0; // 0 = no sequence sweep
+    std::vector<unsigned> depths = {1, 2, 4};
+    unsigned seq_threads = 4;
+    double seq_gate = 0.0; // 0 = no pipelining-speedup gate
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -140,6 +170,14 @@ main(int argc, char **argv)
             gate = std::atoi(v) != 0;
         else if (const char *v = val("record_budget"))
             record_budget = u64(std::strtoull(v, nullptr, 10));
+        else if (const char *v = val("frames"))
+            seq_frames = unsigned(std::atoi(v));
+        else if (const char *v = val("depths"))
+            depths = parseThreadList(v);
+        else if (const char *v = val("seq_threads"))
+            seq_threads = unsigned(std::atoi(v));
+        else if (const char *v = val("seq_gate"))
+            seq_gate = std::atof(v);
         else if (const char *v = val("design"))
             design = parseDesign(v);
         else if (const char *v = val("sampler")) {
@@ -227,9 +265,72 @@ main(int argc, char **argv)
             identical = false;
         }
 
+    // --- Sequence sweep: pipeline depth vs throughput ---------------
+    std::vector<DepthPoint> seq_points;
+    bool seq_identical = true;
+    if (seq_frames > 0) {
+        if (depths.empty() || seq_threads == 0) {
+            std::fprintf(stderr,
+                         "perf_render: sequence mode needs non-empty "
+                         "depths= and seq_threads >= 1\n");
+            return 2;
+        }
+        std::printf("\nsequence: %u frames from %u, render_threads=%u\n",
+                    seq_frames, frame, seq_threads);
+        std::printf("%8s %10s %8s %14s %14s\n", "depth", "wall_s", "fps",
+                    "tag_hits", "blocks_reused");
+        for (unsigned depth : depths) {
+            DepthPoint dp;
+            dp.depth = depth;
+            for (unsigned r = 0; r < reps; ++r) {
+                SimContext ctx;
+                SimContext::Scope scope(ctx);
+                SimConfig cfg;
+                cfg.design = design;
+                cfg.gpu.deterministicSchedule = true;
+                cfg.gpu.renderThreads = seq_threads;
+                cfg.gpu.pipelineDepth = depth;
+                cfg.gpu.sampler = sampler;
+                RenderingSimulator sim(cfg);
+                double t0 = wallSeconds();
+                auto res = sim.renderSequence(wl, seq_frames, frame);
+                double wall = wallSeconds() - t0;
+                if (r == 0 || wall < dp.wallSec)
+                    dp.wallSec = wall;
+                dp.hashes.clear();
+                dp.cycles.clear();
+                dp.tagHits = dp.reusedPrev = 0;
+                for (const SimResult &f : res) {
+                    dp.hashes.push_back(imageHash(*f.image));
+                    dp.cycles.push_back(f.frame.frameCycles);
+                    dp.tagHits += f.interFrameTagHits;
+                    dp.reusedPrev += f.seqBlocksReusedPrev;
+                }
+            }
+            std::printf("%8u %10.3f %8.2f %14llu %14llu\n", dp.depth,
+                        dp.wallSec, double(seq_frames) / dp.wallSec,
+                        (unsigned long long)dp.tagHits,
+                        (unsigned long long)dp.reusedPrev);
+            seq_points.push_back(std::move(dp));
+        }
+        // Pipelining must not move a single pixel, cycle or counter of
+        // any frame: compare every depth against the first.
+        for (const DepthPoint &dp : seq_points)
+            if (dp.hashes != seq_points[0].hashes ||
+                dp.cycles != seq_points[0].cycles ||
+                dp.tagHits != seq_points[0].tagHits ||
+                dp.reusedPrev != seq_points[0].reusedPrev) {
+                std::fprintf(stderr,
+                             "FAIL: pipeline_depth=%u diverged from "
+                             "depth=%u\n",
+                             dp.depth, seq_points[0].depth);
+                seq_identical = false;
+            }
+    }
+
     JsonWriter w;
     w.beginObject();
-    w.keyValue("schema", "texpim-perf-v2");
+    w.keyValue("schema", "texpim-perf-v3");
     w.keyValue("sampler", sampler == GpuParams::SamplerKind::Quad
                               ? "quad"
                               : "scalar");
@@ -264,11 +365,36 @@ main(int argc, char **argv)
         w.endObject();
     }
     w.endArray();
+    if (!seq_points.empty()) {
+        // The inter-frame pipeline sweep. fps here is sequence
+        // throughput (simulated frames per wall second); perf_history
+        // tracks it as its own "<workload>-seq<N>" trajectory.
+        w.key("sequence").beginObject();
+        w.keyValue("frames", seq_frames);
+        w.keyValue("start_frame", frame);
+        w.keyValue("render_threads", seq_threads);
+        w.keyValue("frame_cycles", seq_points[0].cycles.empty()
+                                       ? u64(0)
+                                       : seq_points[0].cycles[0]);
+        w.keyValue("bit_identical", seq_identical);
+        w.key("runs").beginArray();
+        for (const DepthPoint &dp : seq_points) {
+            w.beginObject();
+            w.keyValue("pipeline_depth", dp.depth);
+            w.keyValue("wall_sec", dp.wallSec);
+            w.keyValue("fps", double(seq_frames) / dp.wallSec);
+            w.keyValue("interframe_tag_hits", dp.tagHits);
+            w.keyValue("blocks_reused_prev", dp.reusedPrev);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
     w.endObject();
     writeTextFile(out_path, w.str());
     std::printf("\nwrote %s\n", out_path.c_str());
 
-    if (!identical)
+    if (!identical || !seq_identical)
         return 1;
 
     if (record_budget > 0) {
@@ -290,9 +416,15 @@ main(int argc, char **argv)
         }
     }
 
+    unsigned host_cores = std::thread::hardware_concurrency();
     if (gate) {
         // CI contract: the widest pool must not be slower than the
-        // serial two-phase pipeline.
+        // serial two-phase pipeline beyond scheduling noise. On a host
+        // without 2 cores the worker pool cannot win wall clock — the
+        // threads time-slice one core — so the band widens to a
+        // thread-overhead bound: the gate then only catches
+        // pathological slowdowns (a lock convoy, oversubscription
+        // collapse), which is all a 1-core runner can measure.
         const ThreadPoint *serial = nullptr, *widest = nullptr;
         for (const ThreadPoint &pt : points) {
             if (pt.threads == 1)
@@ -300,14 +432,46 @@ main(int argc, char **argv)
             if (widest == nullptr || pt.threads > widest->threads)
                 widest = &pt;
         }
+        double band = host_cores >= 2 ? 0.05 : 0.30;
         if (serial != nullptr && widest != nullptr &&
-            widest->threads > 1 && widest->wallSec > serial->wallSec) {
+            widest->threads > 1 &&
+            widest->wallSec > serial->wallSec * (1.0 + band)) {
             std::fprintf(stderr,
                          "FAIL: render_threads=%u (%.3fs) slower than "
-                         "render_threads=1 (%.3fs)\n",
+                         "render_threads=1 (%.3fs) beyond the %.0f%% "
+                         "band (%u host cores)\n",
                          widest->threads, widest->wallSec,
-                         serial->wallSec);
+                         serial->wallSec, band * 100.0, host_cores);
             return 1;
+        }
+    }
+
+    if (seq_gate > 0.0 && !seq_points.empty()) {
+        const DepthPoint *unpiped = nullptr;
+        const DepthPoint *best = nullptr;
+        for (const DepthPoint &dp : seq_points) {
+            if (dp.depth == 1)
+                unpiped = &dp;
+            else if (best == nullptr || dp.wallSec < best->wallSec)
+                best = &dp;
+        }
+        if (host_cores < 2 || seq_threads < 2) {
+            std::printf("seq_gate: skipped (host has %u cores, "
+                        "seq_threads=%u — phase overlap needs real "
+                        "parallelism)\n",
+                        host_cores, seq_threads);
+        } else if (unpiped != nullptr && best != nullptr) {
+            double speedup = unpiped->wallSec / best->wallSec;
+            std::printf("seq_gate: depth=%u is %.2fx depth=1 "
+                        "(need %.2fx)\n",
+                        best->depth, speedup, seq_gate);
+            if (speedup < seq_gate) {
+                std::fprintf(stderr,
+                             "FAIL: pipelined sequence speedup %.2fx "
+                             "below the %.2fx gate\n",
+                             speedup, seq_gate);
+                return 1;
+            }
         }
     }
     return 0;

@@ -385,6 +385,17 @@ cmdFrames(int argc, char **argv)
     std::string stats_out = cfg.getString("stats_out", "");
     if (!stats_out.empty())
         exportStats(stats_out, frames.empty() ? nullptr : &frames.back());
+    // out=path.ppm writes path-<f>.ppm per frame; CI byte-compares
+    // these between pipelined and serial sequence runs.
+    std::string out = cfg.getString("out", "");
+    if (!out.empty()) {
+        for (unsigned f = 0; f < frames.size(); ++f) {
+            std::string path =
+                perDesignPath(out, std::to_string(f).c_str());
+            writePpm(*frames[f].image, path);
+            std::printf("wrote %s\n", path.c_str());
+        }
+    }
     return 0;
 }
 

@@ -94,6 +94,8 @@ TagCache::access(Addr addr)
 
     if (Line *l = findLine(set, line)) {
         l->lastUse = use_clock_;
+        last_hit_cross_epoch_ = l->epoch != epoch_;
+        l->epoch = epoch_;
         ++hits_;
         return CacheOutcome::Hit;
     }
@@ -102,6 +104,7 @@ TagCache::access(Addr addr)
     v.tag = line;
     v.valid = true;
     v.lastUse = use_clock_;
+    v.epoch = epoch_;
     v.angleCode = 0;
     ++misses_;
     return CacheOutcome::Miss;
@@ -123,12 +126,15 @@ TagCache::accessAngled(Addr addr, float angle_rad, float threshold_rad)
         float diff =
             std::fabs(dequantizeAngle(l->angleCode) - dequantizeAngle(code));
         if (never_recalc || diff <= threshold_rad) {
+            last_hit_cross_epoch_ = l->epoch != epoch_;
+            l->epoch = epoch_;
             ++hits_;
             return CacheOutcome::Hit;
         }
         // Same texel address, camera angle moved past the threshold:
         // recalculate in memory and refresh the stored angle (SV-C).
         l->angleCode = code;
+        l->epoch = epoch_;
         ++angle_misses_;
         return CacheOutcome::AngleMiss;
     }
@@ -137,6 +143,7 @@ TagCache::accessAngled(Addr addr, float angle_rad, float threshold_rad)
     v.tag = line;
     v.valid = true;
     v.lastUse = use_clock_;
+    v.epoch = epoch_;
     v.angleCode = code;
     ++misses_;
     return CacheOutcome::Miss;

@@ -65,6 +65,19 @@ class TagCache
     /** Probe without allocating or touching LRU state. */
     bool contains(Addr addr) const;
 
+    /**
+     * Mark a frame boundary for inter-frame reuse accounting: lines
+     * remember the epoch of their last touch, and a hit on a line last
+     * touched in an earlier epoch reports via lastHitCrossEpoch() —
+     * the texel was warm from a previous frame. Pure accounting; hit/
+     * miss outcomes and LRU state are unaffected.
+     */
+    void advanceEpoch() { ++epoch_; }
+
+    /** Whether the most recent Hit outcome reused a line last touched
+     *  before the current epoch (i.e. in an earlier frame). */
+    bool lastHitCrossEpoch() const { return last_hit_cross_epoch_; }
+
     void invalidateAll();
 
     u64 lineBytes() const { return params_.lineBytes; }
@@ -92,6 +105,7 @@ class TagCache
     {
         Addr tag = kInvalidAddr;
         u64 lastUse = 0;
+        u64 epoch = 0; //!< advanceEpoch() value at last touch
         bool valid = false;
         u8 angleCode = 0;
     };
@@ -108,6 +122,8 @@ class TagCache
     unsigned num_sets_;
     std::vector<Line> lines_; //!< num_sets_ x ways, row-major
     u64 use_clock_ = 0;
+    u64 epoch_ = 0;
+    bool last_hit_cross_epoch_ = false;
 
     u64 hits_ = 0;
     u64 misses_ = 0;

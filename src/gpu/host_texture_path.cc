@@ -22,6 +22,10 @@ HostTexturePath::HostTexturePath(const GpuParams &params, MemorySystem &mem)
     stats_.counter("l1_misses", "texture L1 line misses");
     stats_.counter("l2_hits", "texture L2 line hits");
     stats_.counter("l2_misses", "texture L2 line misses");
+    stats_.counter("l1_interframe_hits",
+                   "L1 hits on lines warm from an earlier frame");
+    stats_.counter("l2_interframe_hits",
+                   "L2 hits on lines warm from an earlier frame");
     stats_.counter("mshr_merges",
                    "misses merged into an outstanding line fetch");
     stats_.counter("texels", "texels consumed by filtering");
@@ -141,12 +145,16 @@ HostTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
         Addr line = stream.blocks[rec.blockOff + i];
         if (l1.access(line) == CacheOutcome::Hit) {
             ++stats_.counter("l1_hits");
+            if (l1.lastHitCrossEpoch())
+                ++stats_.counter("l1_interframe_hits");
             continue;
         }
         ++stats_.counter("l1_misses");
         Cycle l2_at = t0 + params_.texL1HitLatency;
         if (l2_.access(line) == CacheOutcome::Hit) {
             ++stats_.counter("l2_hits");
+            if (l2_.lastHitCrossEpoch())
+                ++stats_.counter("l2_interframe_hits");
             data_ready =
                 std::max(data_ready, l2_at + params_.texL2HitLatency);
             continue;
@@ -210,6 +218,11 @@ HostTexturePath::beginFrame()
 {
     std::fill(unit_free_.begin(), unit_free_.end(), 0);
     outstanding_.clear();
+    // Cache contents stay warm across frames; the epoch tick lets the
+    // inter-frame reuse counters tell warm hits from intra-frame ones.
+    for (auto &c : l1_)
+        c->advanceEpoch();
+    l2_.advanceEpoch();
 }
 
 void

@@ -53,6 +53,19 @@ GpuParams::fromConfig(const Config &cfg)
                   "gpu.sampler must be \"quad\" or \"scalar\", got \"",
                   sampler, "\"");
     p.sampler = sampler == "scalar" ? SamplerKind::Scalar : SamplerKind::Quad;
+    std::string schedule = cfg.getString("gpu.schedule", "horizon");
+    TEXPIM_ASSERT(schedule == "horizon" || schedule == "rr" ||
+                      schedule == "prefetch",
+                  "gpu.schedule must be \"horizon\", \"rr\" or "
+                  "\"prefetch\", got \"",
+                  schedule, "\"");
+    p.schedule = schedule == "rr"         ? Schedule::RoundRobin
+                 : schedule == "prefetch" ? Schedule::Prefetch
+                                          : Schedule::Horizon;
+    p.pipelineDepth =
+        unsigned(cfg.getInt("gpu.pipeline_depth", p.pipelineDepth));
+    TEXPIM_ASSERT(p.pipelineDepth >= 1,
+                  "gpu.pipeline_depth must be at least 1");
     return p;
 }
 
@@ -103,7 +116,8 @@ knownConfigKeys()
         "gpu.clusters", "gpu.deterministic_schedule",
         "gpu.fragment_cycles", "gpu.fragment_pipeline_cycles",
         "gpu.frequency_ghz", "gpu.max_inflight_tex",
-        "gpu.render_threads", "gpu.sampler", "gpu.setup_cycles",
+        "gpu.pipeline_depth", "gpu.render_threads", "gpu.sampler",
+        "gpu.schedule", "gpu.setup_cycles",
         "gpu.shaders_per_cluster", "gpu.tex_address_alus",
         "gpu.tex_filter_alus", "gpu.tex_l1_bytes", "gpu.tex_l1_latency",
         "gpu.tex_l1_ways", "gpu.tex_l2_bytes", "gpu.tex_l2_latency",

@@ -99,6 +99,49 @@ struct GpuParams
     enum class SamplerKind { Scalar, Quad };
     SamplerKind sampler = SamplerKind::Quad;
 
+    /**
+     * Tile-issue schedule for the timing replay. `Horizon` (the
+     * default) picks the cluster whose next texture request would
+     * issue earliest, keeping the shared memory system in near-global
+     * time order. `RoundRobin` is the pinned functional order of
+     * `deterministicSchedule` (see that knob for when it matters).
+     * `Prefetch` mimics WaSP-style prefetch-aware warp scheduling: it
+     * keeps the pinned round-robin cluster order but reorders each
+     * cluster's tile queue to front-load the tiles whose recorded
+     * replay streams touch the most first-use texel blocks, so cold
+     * fetches start as early as possible. Prefetch needs recorded
+     * streams (gpu.render_threads >= 1) and, like RoundRobin, is
+     * invariant under timing perturbations since no completion time
+     * feeds back into the order. Config key `gpu.schedule` =
+     * "horizon" | "rr" | "prefetch".
+     */
+    enum class Schedule { Horizon, RoundRobin, Prefetch };
+    Schedule schedule = Schedule::Horizon;
+
+    /**
+     * The schedule after folding in the legacy bool: an explicit
+     * gpu.schedule wins; otherwise deterministicSchedule selects
+     * RoundRobin exactly as before the enum existed.
+     */
+    Schedule
+    effectiveSchedule() const
+    {
+        if (schedule == Schedule::Horizon && deterministicSchedule)
+            return Schedule::RoundRobin;
+        return schedule;
+    }
+
+    /**
+     * Frames in flight for sequence rendering (SequenceRunner): while
+     * frame k's serial timing replay runs on the main thread, up to
+     * pipelineDepth-1 later frames may run their functional phase on
+     * the render_threads worker pool. 1 (the default) renders frames
+     * strictly one after another. Replay always consumes frames in
+     * order, so images, cycles and statistics are bit-identical at
+     * any depth. Config key `gpu.pipeline_depth`.
+     */
+    unsigned pipelineDepth = 1;
+
     static GpuParams fromConfig(const Config &cfg);
 };
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <thread>
+#include <unordered_set>
 
 #include "common/logging.hh"
 #include "common/prof/profiler.hh"
@@ -78,6 +79,7 @@ struct Renderer::FrameCtx
 
     std::vector<SetupTriangle> tris;
     Cycle geomEnd = 0;
+    Cycle geomComputeCycles = 0; //!< vertex+setup time (functional half)
 
     unsigned width = 0, height = 0, tile = 0;
     unsigned tilesX = 0, tilesY = 0;
@@ -103,6 +105,11 @@ struct Renderer::FrameCtx
 
     // Phase-1 output, indexed by tile index (two-phase mode only).
     std::vector<TileRecord> records;
+
+    // Per-tile sorted-unique texel block footprints (prefetch schedule
+    // and sequence reuse accounting; empty when neither asked).
+    bool collectBlocks = false;
+    std::vector<std::vector<Addr>> tileBlocks;
 
     FrameCtx(const Scene &s, FrameBuffer &f) : scene(s), fb(f) {}
 };
@@ -167,8 +174,7 @@ Renderer::Renderer(const GpuParams &params, MemorySystem &mem,
 }
 
 Cycle
-Renderer::geometryPhase(const Scene &scene, std::vector<SetupTriangle> &tris,
-                        FrameStats &fs)
+Renderer::geometryTraffic(const Scene &scene)
 {
     // Vertex and index fetch traffic, streamed in 512 B chunks.
     Cycle mem_done = 0;
@@ -183,7 +189,13 @@ Renderer::geometryPhase(const Scene &scene, std::vector<SetupTriangle> &tris,
             remaining -= chunk;
         }
     }
+    return mem_done;
+}
 
+Cycle
+Renderer::geometryFunctional(const Scene &scene,
+                             std::vector<SetupTriangle> &tris, FrameStats &fs)
+{
     Mat4 view = scene.camera.viewMatrix();
     Mat4 proj = scene.camera.projMatrix(scene.settings.width,
                                         scene.settings.height);
@@ -215,7 +227,7 @@ Renderer::geometryPhase(const Scene &scene, std::vector<SetupTriangle> &tris,
          1) /
         params_.clusters;
 
-    return std::max(mem_done, vertex_cycles + setup_cycles);
+    return vertex_cycles + setup_cycles;
 }
 
 template <typename TileBody>
@@ -228,15 +240,19 @@ Renderer::scheduleLoop(FrameCtx &ctx, FrameStats &fs, TileBody &&body)
     // per tile when no watchdog deadline is armed (the zero-overhead
     // contract), a SimTimeout unwind when a hung job's budget runs out.
     const Deadline &deadline = SimContext::current().deadline();
+    const GpuParams::Schedule sched = params_.effectiveSchedule();
 
     while (true) {
         deadline.check("renderer.tile");
         unsigned cluster = params_.clusters;
-        if (params_.deterministicSchedule) {
+        if (sched != GpuParams::Schedule::Horizon) {
             // Pinned functional order: fixed round-robin over clusters
             // with tiles remaining, independent of any completion
             // time. Keeps the request stream (and A-TFIM's image)
             // invariant under timing perturbations; see GpuParams.
+            // The prefetch schedule reorders each cluster's tile queue
+            // up front (prefetchOrderTiles) but picks clusters the
+            // same pinned way, so it shares this arm.
             for (unsigned i = 0; i < params_.clusters; ++i) {
                 unsigned c = (ctx.rrNext + i) % params_.clusters;
                 if (ctx.nextTile[c] < ctx.clusterTiles[c].size()) {
@@ -611,6 +627,22 @@ Renderer::rasterizeTile(FrameCtx &ctx, u32 ti, TileWorker &worker)
         }
     }
 
+    if (ctx.collectBlocks) {
+        // Tile texel-block footprint for the prefetch schedule and the
+        // sequence reuse census, taken before the raw arrays go away.
+        std::vector<Addr> &blk = ctx.tileBlocks[ti];
+        blk.reserve(rec.stream.blocks.size() +
+                    rec.stream.childBlocks.size());
+        blk.insert(blk.end(), rec.stream.blocks.begin(),
+                   rec.stream.blocks.end());
+        blk.insert(blk.end(), rec.stream.childBlocks.begin(),
+                   rec.stream.childBlocks.end());
+        // tie-break: block addresses are u64 (total order); duplicates
+        // are interchangeable and unique() drops them.
+        std::sort(blk.begin(), blk.end());
+        blk.erase(std::unique(blk.begin(), blk.end()), blk.end());
+    }
+
     // Compact the tile: between the phases the frame holds only the
     // delta/varint-encoded stream; the raw arrays are released here
     // and reconstructed tile by tile during replay.
@@ -775,6 +807,10 @@ Renderer::replayPhase(FrameCtx &ctx, FrameStats &fs)
         }
         TEXPIM_ASSERT(ok, "tile ", ti, ": corrupt encoded replay stream");
         const TileRecord &rec = decoded;
+        // Peak of the decode-on-demand scratch: with per-tile decoding
+        // the replay never holds more than one tile's raw arrays.
+        fs.recordBytesPeak =
+            std::max(fs.recordBytesPeak, decoded.decodedSizeBytes());
         fs.hierZTrianglesSkipped += rec.hierZSkipped;
 
         for (const FragRecord &fr : rec.frags) {
@@ -830,36 +866,10 @@ Renderer::replayPhase(FrameCtx &ctx, FrameStats &fs)
     });
 }
 
-FrameStats
-Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
+void
+Renderer::setupFrameCtx(FrameCtx &ctx)
 {
-    TEXPIM_ASSERT(fb.width() == scene.settings.width &&
-                      fb.height() == scene.settings.height,
-                  "framebuffer does not match scene resolution");
-
-    TEXPIM_PROF_SCOPE(prof::kZoneFrame); // wall-clock only (D1)
-
-    // Frame-granularity cancellation point (renderSequence frames past
-    // the first; tile-granularity checks in scheduleLoop cover the
-    // inside of a frame).
-    SimContext::current().deadline().check("renderer.frame");
-
-    FrameStats fs;
-    fb.clear();
-    z_cache_.invalidateAll();
-    color_cache_.invalidateAll();
-    tex_.beginFrame();
-    mem_.beginFrame();
-
-    FrameCtx ctx(scene, fb);
-    {
-        TEXPIM_PROF_SCOPE(prof::kZoneGeometry);
-        ctx.geomEnd = geometryPhase(scene, ctx.tris, fs);
-    }
-    fs.geometryCycles = ctx.geomEnd;
-    // Track (tid) layout: 0..clusters-1 raster tiles, 100+ texture
-    // path, 200+ DRAM, 300+ PIM logic, 1000/1001 frame and geometry.
-    TEXPIM_TRACE_SPAN("raster", "geometry_phase", 1001, 0, ctx.geomEnd);
+    const Scene &scene = ctx.scene;
 
     ctx.width = scene.settings.width;
     ctx.height = scene.settings.height;
@@ -890,19 +900,15 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
                 ctx.bins[size_t(ty) * ctx.tilesX + tx].push_back(t);
     }
 
-    // Tiles are assigned round-robin; processing always advances the
-    // cluster with the smallest local clock so that memory accesses
-    // reach the shared memory system in approximately global time
-    // order (the resource-reservation model needs that).
+    // Tiles are assigned round-robin; the horizon schedule then always
+    // advances the cluster with the smallest local clock so that
+    // memory accesses reach the shared memory system in approximately
+    // global time order (the resource-reservation model needs that).
     ctx.clusterTiles.assign(params_.clusters, {});
     for (u32 ti = 0; ti < ctx.bins.size(); ++ti) {
         if (!ctx.bins[ti].empty())
             ctx.clusterTiles[ti % params_.clusters].push_back(ti);
     }
-    ctx.clusterTime.assign(params_.clusters, ctx.geomEnd);
-    ctx.windows.assign(params_.clusters,
-                       InflightWindow(params_.maxInflightTexRequests));
-    ctx.nextTile.assign(params_.clusters, 0);
 
     // Per-fragment cluster occupancy: the fixed-function fragment
     // pipeline (interpolation, shader issue, ROP slot) plus the shader
@@ -911,46 +917,235 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
         params_.fragmentPipelineCycles,
         (params_.fragmentShaderCycles + params_.shadersPerCluster - 1) /
             params_.shadersPerCluster);
+}
 
-    if (params_.renderThreads == 0) {
-        TEXPIM_PROF_SCOPE(prof::kZoneReplay); // fused: one timing pass
-        fusedLoop(ctx, fs);
-    } else {
-        double t0 = wallSeconds();
-        {
-            TEXPIM_PROF_SCOPE(prof::kZoneSample);
-            recordPhase(ctx);
-        }
-        double t1 = wallSeconds();
-        // Producing end of the per-tile record-stream flow arrows,
-        // emitted on the coordinating thread after the workers joined
-        // (the workers carry no tracer context, rule D2); the "f" ends
-        // are emitted at each tile's replay start.
-        if (TraceEvents::active())
-            for (u32 ti = 0; ti < ctx.bins.size(); ++ti)
-                if (!ctx.bins[ti].empty())
-                    TEXPIM_TRACE_FLOW_BEGIN("replay", "tile_stream", 1001,
-                                            ctx.geomEnd, ti);
-        {
-            TEXPIM_PROF_SCOPE(prof::kZoneReplay);
-            replayPhase(ctx, fs);
-        }
-        fs.wallPhase2Sec = wallSeconds() - t1;
-        fs.wallPhase1Sec = t1 - t0;
-        // FNV-1a over the encoded tiles in tile-index order: a cheap
-        // fingerprint of the whole record stream, byte-invariant
-        // across gpu.render_threads (the stream-equivalence tests
-        // compare it between worker counts).
-        u64 h = 14695981039346656037ull;
-        for (const TileRecord &rec : ctx.records) {
-            fs.recordBytes += rec.encoded.size();
-            fs.recordBytesDecoded += rec.decodedBytes;
-            for (u8 b : rec.encoded)
-                h = (h ^ b) * 1099511628211ull;
-        }
-        fs.recordStreamHash = h;
+void
+Renderer::prefetchOrderTiles(FrameCtx &ctx)
+{
+    // First-use census: walking tiles in index order, a texel block
+    // counts toward the first tile that touches it. Within each
+    // cluster the tiles carrying the most first-use blocks issue
+    // first, so cold memory fetches start as early as possible and
+    // later tiles hit what the front-loaded tiles already pulled in —
+    // the prefetch-mimicking issue order of WaSP, driven by the
+    // recorded streams instead of a predictor. Inputs are functional
+    // only, so the order is deterministic and invariant under timing
+    // perturbations (like the pinned round-robin it rides on).
+    std::vector<u32> firstUse(ctx.bins.size(), 0);
+    std::unordered_set<Addr> seen; // insert/lookup only, never iterated
+    for (u32 ti = 0; ti < u32(ctx.tileBlocks.size()); ++ti)
+        for (Addr a : ctx.tileBlocks[ti])
+            if (seen.insert(a).second)
+                ++firstUse[ti];
+    for (auto &tiles : ctx.clusterTiles) {
+        std::stable_sort(tiles.begin(), tiles.end(), [&](u32 a, u32 b) {
+            if (firstUse[a] != firstUse[b])
+                return firstUse[a] > firstUse[b]; // most first-use first
+            return a < b; // tie-break: tile index (total order)
+        });
+    }
+}
+
+std::unique_ptr<Renderer::FrameJob>
+Renderer::recordFrame(const Scene &scene, FrameBuffer &fb)
+{
+    TEXPIM_ASSERT(fb.width() == scene.settings.width &&
+                      fb.height() == scene.settings.height,
+                  "framebuffer does not match scene resolution");
+    TEXPIM_ASSERT(params_.renderThreads >= 1,
+                  "recordFrame needs the two-phase pipeline "
+                  "(gpu.render_threads >= 1)");
+
+    std::unique_ptr<FrameJob> job(new FrameJob);
+    job->ctx_ = std::make_unique<FrameCtx>(scene, fb);
+    FrameCtx &ctx = *job->ctx_;
+    FrameStats &fs = job->fs_;
+
+    double t0 = wallSeconds();
+    fb.clear();
+    ctx.geomComputeCycles = geometryFunctional(scene, ctx.tris, fs);
+    setupFrameCtx(ctx);
+
+    ctx.collectBlocks =
+        collect_frame_blocks_ ||
+        params_.effectiveSchedule() == GpuParams::Schedule::Prefetch;
+    if (ctx.collectBlocks)
+        ctx.tileBlocks.assign(ctx.bins.size(), {});
+
+    {
+        // Wall-only zone; inert when a pipelined sequence records on
+        // its prep thread (no profiler context there, rule D2).
+        TEXPIM_PROF_SCOPE(prof::kZoneSample);
+        recordPhase(ctx);
     }
 
+    if (params_.effectiveSchedule() == GpuParams::Schedule::Prefetch)
+        prefetchOrderTiles(ctx);
+
+    // FNV-1a over the encoded tiles in tile-index order: a cheap
+    // fingerprint of the whole record stream, byte-invariant across
+    // gpu.render_threads (the stream-equivalence tests compare it
+    // between worker counts).
+    u64 h = 14695981039346656037ull;
+    for (const TileRecord &rec : ctx.records) {
+        fs.recordBytes += rec.encoded.size();
+        fs.recordBytesDecoded += rec.decodedBytes;
+        for (u8 b : rec.encoded)
+            h = (h ^ b) * 1099511628211ull;
+    }
+    fs.recordStreamHash = h;
+    fs.wallPhase1Sec = wallSeconds() - t0;
+    return job;
+}
+
+FrameStats
+Renderer::finishFrame(FrameJob &job)
+{
+    TEXPIM_ASSERT(job.ctx_ != nullptr,
+                  "finishFrame: job already consumed");
+    FrameCtx &ctx = *job.ctx_;
+    FrameStats fs = job.fs_;
+
+    // Frame-granularity cancellation point (sequence frames past the
+    // first; tile-granularity checks in scheduleLoop cover the inside
+    // of a frame).
+    SimContext::current().deadline().check("renderer.frame");
+
+    double t1 = wallSeconds();
+    z_cache_.invalidateAll();
+    color_cache_.invalidateAll();
+    tex_.beginFrame();
+    mem_.beginFrame();
+
+    {
+        TEXPIM_PROF_SCOPE(prof::kZoneGeometry);
+        ctx.geomEnd =
+            std::max(geometryTraffic(ctx.scene), ctx.geomComputeCycles);
+    }
+    fs.geometryCycles = ctx.geomEnd;
+    // Track (tid) layout: 0..clusters-1 raster tiles, 100+ texture
+    // path, 200+ DRAM, 300+ PIM logic, 1000/1001 frame and geometry.
+    TEXPIM_TRACE_SPAN("raster", "geometry_phase", 1001, 0, ctx.geomEnd);
+
+    ctx.clusterTime.assign(params_.clusters, ctx.geomEnd);
+    ctx.windows.assign(params_.clusters,
+                       InflightWindow(params_.maxInflightTexRequests));
+    ctx.nextTile.assign(params_.clusters, 0);
+
+    // Producing end of the per-tile record-stream flow arrows, emitted
+    // on the coordinating thread after the workers joined (the workers
+    // carry no tracer context, rule D2); the "f" ends are emitted at
+    // each tile's replay start.
+    if (TraceEvents::active())
+        for (u32 ti = 0; ti < ctx.bins.size(); ++ti)
+            if (!ctx.bins[ti].empty())
+                TEXPIM_TRACE_FLOW_BEGIN("replay", "tile_stream", 1001,
+                                        ctx.geomEnd, ti);
+    {
+        TEXPIM_PROF_SCOPE(prof::kZoneReplay);
+        replayPhase(ctx, fs);
+    }
+    fs.wallPhase2Sec = wallSeconds() - t1;
+
+    finishTail(ctx, fs);
+    job.ctx_.reset(); // release the frame's working memory
+    return fs;
+}
+
+Renderer::FrameJob::FrameJob() = default;
+Renderer::FrameJob::~FrameJob() = default;
+
+const Scene &
+Renderer::FrameJob::scene() const
+{
+    TEXPIM_ASSERT(ctx_ != nullptr, "FrameJob already consumed");
+    return ctx_->scene;
+}
+
+FrameBuffer &
+Renderer::FrameJob::fb() const
+{
+    TEXPIM_ASSERT(ctx_ != nullptr, "FrameJob already consumed");
+    return ctx_->fb;
+}
+
+std::vector<Addr>
+Renderer::FrameJob::uniqueBlocks() const
+{
+    std::vector<Addr> out;
+    if (!ctx_ || !ctx_->collectBlocks)
+        return out;
+    size_t total = 0;
+    for (const auto &t : ctx_->tileBlocks)
+        total += t.size();
+    out.reserve(total);
+    for (const auto &t : ctx_->tileBlocks)
+        out.insert(out.end(), t.begin(), t.end());
+    // tie-break: block addresses are u64 (total order); duplicates are
+    // interchangeable and unique() drops them.
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+FrameStats
+Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
+{
+    TEXPIM_ASSERT(fb.width() == scene.settings.width &&
+                      fb.height() == scene.settings.height,
+                  "framebuffer does not match scene resolution");
+
+    TEXPIM_PROF_SCOPE(prof::kZoneFrame); // wall-clock only (D1)
+
+    // Frame-granularity cancellation point (renderSequence frames past
+    // the first; tile-granularity checks in scheduleLoop cover the
+    // inside of a frame).
+    SimContext::current().deadline().check("renderer.frame");
+
+    if (params_.renderThreads == 0) {
+        TEXPIM_ASSERT(params_.effectiveSchedule() !=
+                          GpuParams::Schedule::Prefetch,
+                      "gpu.schedule=prefetch needs recorded streams "
+                      "(gpu.render_threads >= 1)");
+
+        FrameStats fs;
+        fb.clear();
+        z_cache_.invalidateAll();
+        color_cache_.invalidateAll();
+        tex_.beginFrame();
+        mem_.beginFrame();
+
+        FrameCtx ctx(scene, fb);
+        {
+            TEXPIM_PROF_SCOPE(prof::kZoneGeometry);
+            Cycle mem_done = geometryTraffic(scene);
+            ctx.geomComputeCycles = geometryFunctional(scene, ctx.tris, fs);
+            ctx.geomEnd = std::max(mem_done, ctx.geomComputeCycles);
+        }
+        fs.geometryCycles = ctx.geomEnd;
+        TEXPIM_TRACE_SPAN("raster", "geometry_phase", 1001, 0, ctx.geomEnd);
+
+        setupFrameCtx(ctx);
+        ctx.clusterTime.assign(params_.clusters, ctx.geomEnd);
+        ctx.windows.assign(params_.clusters,
+                           InflightWindow(params_.maxInflightTexRequests));
+        ctx.nextTile.assign(params_.clusters, 0);
+
+        {
+            TEXPIM_PROF_SCOPE(prof::kZoneReplay); // fused: one timing pass
+            fusedLoop(ctx, fs);
+        }
+        finishTail(ctx, fs);
+        return fs;
+    }
+
+    std::unique_ptr<FrameJob> job = recordFrame(scene, fb);
+    return finishFrame(*job);
+}
+
+void
+Renderer::finishTail(FrameCtx &ctx, FrameStats &fs)
+{
     Cycle end_compute = ctx.geomEnd;
     Cycle end_windows = 0;
     for (unsigned c = 0; c < params_.clusters; ++c) {
@@ -998,8 +1193,6 @@ Renderer::renderFrame(const Scene &scene, FrameBuffer &fb)
     TEXPIM_TRACE_SPAN("frame", "render_frame", 1000, 0, frame_end);
     TEXPIM_TRACE_COUNTER("frame", "frame_cycles", frame_end,
                          double(frame_end));
-
-    return fs;
 }
 
 } // namespace texpim

@@ -17,6 +17,7 @@
 #define TEXPIM_GPU_RENDERER_HH
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "cache/tag_cache.hh"
@@ -59,6 +60,12 @@ struct FrameStats
     u64 recordBytes = 0;        //!< encoded replay-stream bytes (all tiles)
     u64 recordBytesDecoded = 0; //!< decoded (raw-array) record bytes
     u64 recordStreamHash = 0;   //!< FNV-1a over encoded tiles, tile order
+    /** Largest single-tile decoded record during replay: the peak of
+     *  the decode-on-demand scratch, versus recordBytesDecoded which
+     *  is what holding every tile decoded at once would cost.
+     *  Deterministic (the replay is serial), but bench-only like the
+     *  fields above. */
+    u64 recordBytesPeak = 0;
 };
 
 class Renderer
@@ -84,6 +91,43 @@ class Renderer
      * counts and statistics.
      */
     FrameStats renderFrame(const Scene &scene, FrameBuffer &fb);
+
+    /**
+     * A frame whose functional phase has run but whose timing replay
+     * has not. Produced by recordFrame(), consumed by finishFrame().
+     * Keeps the scene and framebuffer it was recorded against by
+     * reference — both must outlive the job.
+     */
+    class FrameJob;
+
+    /**
+     * Phase 1 only: rasterize the frame functionally (coverage, early
+     * Z, texture sampling into per-tile replay streams) on the
+     * render_threads worker pool. Touches no simulation state — the
+     * memory system, caches, texture-path timing and all statistics
+     * are untouched, and the texture paths' sample() is const and
+     * pure — so a later frame's recordFrame() may run concurrently
+     * with an earlier frame's finishFrame() (the inter-frame pipeline
+     * SequenceRunner builds). Requires renderThreads >= 1; the fused
+     * loop (renderThreads == 0) has no separable functional phase.
+     */
+    std::unique_ptr<FrameJob> recordFrame(const Scene &scene,
+                                          FrameBuffer &fb);
+
+    /**
+     * Phase 2: geometry/texture/ROP traffic, the serial timing replay
+     * and end-of-frame accounting for a recorded frame. Must run on
+     * the coordinating thread, and jobs from consecutive recordFrame()
+     * calls must be finished in recording order — then results are
+     * bit-identical to renderFrame() at any pipeline depth. Consumes
+     * the job (its working state is released).
+     */
+    FrameStats finishFrame(FrameJob &job);
+
+    /** Collect per-tile texel-block footprints during recordFrame()
+     *  even when the schedule does not need them (sequence reuse
+     *  accounting); see FrameJob::uniqueBlocks(). */
+    void setCollectFrameBlocks(bool on) { collect_frame_blocks_ = on; }
 
     StatGroup &stats() { return stats_; }
 
@@ -121,10 +165,32 @@ class Renderer
     struct FrameCtx;   // per-frame working state, defined in renderer.cc
     struct TileWorker; // per-worker phase-1 scratch, defined in renderer.cc
 
-    /** Geometry phase: traffic + vertex shading + clip. Returns the
-     *  cycle the phase drains and fills `tris`. */
-    Cycle geometryPhase(const Scene &scene,
-                        std::vector<SetupTriangle> &tris, FrameStats &fs);
+    /** Geometry, functional half: vertex shading, clipping, triangle
+     *  setup. Fills `tris` and returns the compute-cycle cost (vertex
+     *  + setup time); touches no simulation state, so it may run off
+     *  the coordinating thread. */
+    Cycle geometryFunctional(const Scene &scene,
+                             std::vector<SetupTriangle> &tris,
+                             FrameStats &fs);
+
+    /** Geometry, traffic half: vertex/index fetch through the memory
+     *  system. Returns the cycle the last fetch drains. */
+    Cycle geometryTraffic(const Scene &scene);
+
+    /** Fill the frame-geometry fields of `ctx` (tile grid, detail
+     *  maps, triangle bins, cluster assignment, per-fragment cost)
+     *  from the scene and `ctx.tris`. Functional only. */
+    void setupFrameCtx(FrameCtx &ctx);
+
+    /** gpu.schedule=prefetch: reorder each cluster's tile queue to
+     *  front-load first-use texel blocks (WaSP-style). Needs the
+     *  per-tile block footprints recordPhase collected. */
+    void prefetchOrderTiles(FrameCtx &ctx);
+
+    /** End-of-frame accounting shared by the fused and two-phase
+     *  paths: frame-end resolution, scanout traffic, stats counters,
+     *  deterministic profile charges. */
+    void finishTail(FrameCtx &ctx, FrameStats &fs);
 
     /** Phase 1, one tile: rasterize, tile-local early Z, functional
      *  texture sampling; fills (and then encodes) ctx.records[ti].
@@ -161,8 +227,33 @@ class Renderer
     TagCache z_cache_;
     TagCache color_cache_;
     StatGroup stats_;
+    bool collect_frame_blocks_ = false;
 
     static constexpr Addr kGeometryBase = 0x4000'0000;
+};
+
+class Renderer::FrameJob
+{
+  public:
+    ~FrameJob();
+    FrameJob(const FrameJob &) = delete;
+    FrameJob &operator=(const FrameJob &) = delete;
+
+    const Scene &scene() const;
+    FrameBuffer &fb() const;
+
+    /** Sorted unique texel block/line addresses the frame's recorded
+     *  streams touch (base blocks plus A-TFIM child blocks). Empty
+     *  unless setCollectFrameBlocks(true) or gpu.schedule=prefetch
+     *  enabled the census. */
+    std::vector<Addr> uniqueBlocks() const;
+
+  private:
+    friend class Renderer;
+    FrameJob();
+
+    std::unique_ptr<FrameCtx> ctx_;
+    FrameStats fs_{}; //!< phase-1 partials (geometry stats, record bytes)
 };
 
 } // namespace texpim

@@ -33,6 +33,12 @@ AtfimTexturePath::AtfimTexturePath(const GpuParams &gpu,
     stats_.counter("l2_misses", "parent texels absent from L2");
     stats_.counter("l2_angle_recalcs",
                    "L2 hits invalidated by the camera-angle threshold");
+    stats_.counter("l1_interframe_hits",
+                   "angle-valid L1 hits on parents cached in an earlier "
+                   "frame");
+    stats_.counter("l2_interframe_hits",
+                   "angle-valid L2 hits on parents cached in an earlier "
+                   "frame");
     stats_.counter("offload_packages",
                    "compacted offload packages sent to the HMC");
     stats_.counter("parents_offloaded",
@@ -214,6 +220,8 @@ AtfimTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
             l1.accessAngled(parent.addr, angle, atfim_.angleThresholdRad);
         if (o1 == CacheOutcome::Hit) {
             ++stats_.counter("l1_hits");
+            if (l1.lastHitCrossEpoch())
+                ++stats_.counter("l1_interframe_hits");
             reuse = true;
         } else {
             if (o1 == CacheOutcome::AngleMiss)
@@ -226,6 +234,8 @@ AtfimTexturePath::replay(const TexRequest &req, const ReplayStream &stream,
                                                atfim_.angleThresholdRad);
             if (o2 == CacheOutcome::Hit) {
                 ++stats_.counter("l2_hits");
+                if (l2_.lastHitCrossEpoch())
+                    ++stats_.counter("l2_interframe_hits");
                 reuse = true;
                 host_ready =
                     std::max(host_ready, t0 + gpu_.texL1HitLatency +
@@ -440,6 +450,12 @@ AtfimTexturePath::beginFrame()
 {
     std::fill(unit_free_.begin(), unit_free_.end(), 0);
     logic_pipe_.reset();
+    // Angle caches stay warm across frames (that is the whole point of
+    // A-TFIM's temporal reuse); the epoch tick feeds the inter-frame
+    // reuse counters.
+    for (auto &c : l1_)
+        c->advanceEpoch();
+    l2_.advanceEpoch();
 }
 
 u64

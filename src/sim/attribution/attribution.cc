@@ -134,6 +134,13 @@ TrafficAttribution::writeJson(JsonWriter &w) const
         w.endObject();
     }
     w.endArray();
+    if (has_sequence_) {
+        w.key("sequence").beginObject();
+        w.keyValue("unique_blocks", seq_unique_blocks_);
+        w.keyValue("blocks_reused_prev", seq_reused_prev_);
+        w.keyValue("interframe_tag_hits", seq_tag_hits_);
+        w.endObject();
+    }
     w.endObject();
 }
 
@@ -142,6 +149,8 @@ TrafficAttribution::reset()
 {
     bytes_.clear();
     lane_epoch_bytes_.clear();
+    has_sequence_ = false;
+    seq_unique_blocks_ = seq_reused_prev_ = seq_tag_hits_ = 0;
 }
 
 } // namespace texpim

@@ -93,6 +93,22 @@ class TrafficAttribution : public TrafficSink
     u64 epochCycles() const { return epoch_cycles_; }
     const std::string &design() const { return design_; }
 
+    /** Attach the frame's inter-frame reuse numbers (renderSequence):
+     *  distinct texel blocks touched, how many the previous frame also
+     *  touched, and warm-from-an-earlier-frame tag-cache hits. Emitted
+     *  as a "sequence" object by writeJson; absent until set. All
+     *  three are deterministic (census + serial replay counters). */
+    void
+    setSequenceReuse(u64 unique_blocks, u64 reused_prev, u64 tag_hits)
+    {
+        seq_unique_blocks_ = unique_blocks;
+        seq_reused_prev_ = reused_prev;
+        seq_tag_hits_ = tag_hits;
+        has_sequence_ = true;
+    }
+
+    bool hasSequenceReuse() const { return has_sequence_; }
+
     /**
      * Emit the per-lane timelines as Chrome-trace counter tracks
      * ("C" events named "vault<N>.bytes", one sample per non-empty
@@ -127,6 +143,11 @@ class TrafficAttribution : public TrafficSink
     std::vector<Range> ranges_; //!< sorted by begin, non-overlapping
     std::map<Key, u64> bytes_;
     std::map<std::pair<int, u64>, u64> lane_epoch_bytes_;
+
+    bool has_sequence_ = false;
+    u64 seq_unique_blocks_ = 0;
+    u64 seq_reused_prev_ = 0;
+    u64 seq_tag_hits_ = 0;
 };
 
 } // namespace texpim

@@ -6,6 +6,7 @@
 #include "common/stat_export.hh"
 #include "gpu/host_texture_path.hh"
 #include "sim/attribution/attribution.hh"
+#include "sim/sequence.hh"
 
 namespace texpim {
 
@@ -171,22 +172,38 @@ RenderingSimulator::renderSequence(const Workload &wl, unsigned num_frames,
     TEXPIM_ASSERT(&SimContext::current() == &ctx_,
                   "rendering under a different SimContext than the one "
                   "this simulator was built under");
-    build();
-    std::vector<SimResult> out;
-    out.reserve(num_frames);
-    for (unsigned f = 0; f < num_frames; ++f) {
-        // Per-frame accounting; functional cache/row state stays warm
-        // and per-frame timing restarts inside renderFrame().
-        mem_->resetStats();
-        tex_path_->resetStats();
-        Scene scene = buildGameScene(wl, start_frame + f, seed);
-        out.push_back(renderOnce(scene));
-    }
-    return out;
+    SequenceRunner runner(*this);
+    return runner.run(wl, num_frames, start_frame, seed);
 }
 
-SimResult
-RenderingSimulator::renderOnce(const Scene &scene)
+void
+RenderingSimulator::beginSequence()
+{
+    TEXPIM_ASSERT(&SimContext::current() == &ctx_,
+                  "rendering under a different SimContext than the one "
+                  "this simulator was built under");
+    build();
+    // The census adds phase-1 work only (tile-disjoint vectors); the
+    // replay streams, timing and statistics are unchanged by it.
+    renderer_->setCollectFrameBlocks(true);
+    if (!seq_stats_) {
+        seq_stats_ = std::make_unique<StatGroup>("sequence");
+        seq_stats_->counter("frames",
+                            "frames rendered in camera-path sequences");
+        seq_stats_->counter("unique_blocks",
+                            "distinct texel blocks touched, summed over "
+                            "frames");
+        seq_stats_->counter("blocks_reused_prev",
+                            "texel blocks also touched by the previous "
+                            "frame");
+        seq_stats_->counter("interframe_tag_hits",
+                            "texture L1/L2 hits on lines warm from an "
+                            "earlier frame");
+    }
+}
+
+Scene
+RenderingSimulator::prepareFrameScene(const Scene &scene) const
 {
     Scene frame_scene = scene;
     if (cfg_.disableAniso)
@@ -201,24 +218,92 @@ RenderingSimulator::renderOnce(const Scene &scene)
                  FilterMode::TrilinearEwa)
             frame_scene.settings.filterMode = FilterMode::Trilinear;
     }
+    return frame_scene;
+}
 
+void
+RenderingSimulator::installAttribution(const Scene &scene)
+{
     // Profiling on => attribute this frame's traffic. A fresh sink per
     // frame keeps attribution aligned with the per-frame meters the
     // accounting-identity tests compare against.
     if (Profiler::active()) {
         attrib_ = std::make_unique<TrafficAttribution>(
             designName(cfg_.design), Profiler::instance().epochCycles());
-        attrib_->mapTextures(*frame_scene.textures);
+        attrib_->mapTextures(*scene.textures);
         mem_->setTrafficSink(attrib_.get());
     } else {
         mem_->setTrafficSink(nullptr);
         attrib_.reset();
     }
+}
+
+void
+RenderingSimulator::resetFrameStats()
+{
+    // Per-frame accounting; functional cache/row state stays warm and
+    // per-frame timing restarts inside the renderer.
+    mem_->resetStats();
+    tex_path_->resetStats();
+}
+
+std::unique_ptr<Renderer::FrameJob>
+RenderingSimulator::recordSequenceFrame(const Scene &scene, FrameBuffer &fb)
+{
+    return renderer_->recordFrame(scene, fb);
+}
+
+SimResult
+RenderingSimulator::finishSequenceFrame(Renderer::FrameJob &job,
+                                        std::shared_ptr<FrameBuffer> fb)
+{
+    TEXPIM_ASSERT(&SimContext::current() == &ctx_,
+                  "rendering under a different SimContext than the one "
+                  "this simulator was built under");
+    // Same observable order as renderOnce: attribution is installed
+    // before any traffic flows (the recording phase produced none).
+    installAttribution(job.scene());
+    SimResult r;
+    r.image = std::move(fb);
+    r.frame = renderer_->finishFrame(job);
+    finalizeResult(r);
+    return r;
+}
+
+void
+RenderingSimulator::noteFrameReuse(SimResult &r, u64 unique_blocks,
+                                   u64 reused_prev)
+{
+    r.seqUniqueBlocks = unique_blocks;
+    r.seqBlocksReusedPrev = reused_prev;
+    if (seq_stats_) {
+        ++seq_stats_->counter("frames");
+        seq_stats_->counter("unique_blocks") += unique_blocks;
+        seq_stats_->counter("blocks_reused_prev") += reused_prev;
+        seq_stats_->counter("interframe_tag_hits") += r.interFrameTagHits;
+    }
+    if (attrib_)
+        attrib_->setSequenceReuse(unique_blocks, reused_prev,
+                                  r.interFrameTagHits);
+}
+
+SimResult
+RenderingSimulator::renderOnce(const Scene &scene)
+{
+    Scene frame_scene = prepareFrameScene(scene);
+    installAttribution(frame_scene);
 
     SimResult r;
     r.image = std::make_shared<FrameBuffer>(frame_scene.settings.width,
                                             frame_scene.settings.height);
     r.frame = renderer_->renderFrame(frame_scene, *r.image);
+    finalizeResult(r);
+    return r;
+}
+
+void
+RenderingSimulator::finalizeResult(SimResult &r)
+{
     r.textureFilterCycles = r.frame.texLatencySum;
 
     const TrafficMeter &traffic = mem_->offChipTraffic();
@@ -268,7 +353,9 @@ RenderingSimulator::renderOnce(const Scene &scene)
     }
     r.pimFallbacks = tex_path_->fallbacks();
 
-    return r;
+    // S-TFIM has no tag caches, so it (correctly) reports zero here.
+    r.interFrameTagHits = counterOr0(ts, "l1_interframe_hits") +
+                          counterOr0(ts, "l2_interframe_hits");
 }
 
 } // namespace texpim

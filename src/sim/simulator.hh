@@ -67,6 +67,17 @@ struct SimResult
     EnergyBreakdown energy{};
     u64 angleRecalcs = 0; //!< A-TFIM threshold-forced recalculations
 
+    // Inter-frame reuse accounting (§V-C). interFrameTagHits is filled
+    // for every frame (always zero on cold renderScene frames); the
+    // seq* block counts are filled by renderSequence when the renderer
+    // records replay streams (gpu.render_threads >= 1) and stay zero
+    // under the fused loop, which keeps no per-tile block footprints.
+    u64 interFrameTagHits = 0;   //!< texture L1/L2 hits on lines warm
+                                 //!< from an earlier frame
+    u64 seqUniqueBlocks = 0;     //!< distinct texel blocks this frame
+    u64 seqBlocksReusedPrev = 0; //!< of those, also touched by the
+                                 //!< previous frame
+
     // Fault/robustness accounting (all 0 in fault-free runs).
     u64 crcErrors = 0;    //!< link packets that took a CRC error
     u64 linkRetries = 0;  //!< link-retry retransmissions
@@ -84,6 +95,7 @@ void writeSimResultJson(JsonWriter &w, const SimResult &r);
 
 class SimContext;
 class TrafficAttribution;
+class SequenceRunner;
 
 class RenderingSimulator
 {
@@ -116,6 +128,48 @@ class RenderingSimulator
                                           unsigned start_frame = 0,
                                           u64 seed = 0x7e01d);
 
+    // --- Split frame entry points (the inter-frame pipeline) ---
+    //
+    // SequenceRunner (sim/sequence.hh) overlaps frame k+1's functional
+    // phase with frame k's timing replay through these. They are also
+    // usable directly; renderSequence is the packaged driver.
+
+    /** Build the pipeline once and enable per-tile block-footprint
+     *  collection (sequence reuse accounting). Call before the first
+     *  recordSequenceFrame of a sequence. */
+    void beginSequence();
+
+    /** The per-frame scene transform renderScene applies before
+     *  rendering (aniso override, A-TFIM filter-mode coercion). Pure;
+     *  callable from any thread. It must run *before* the functional
+     *  phase because the filter mode changes what sampling computes. */
+    Scene prepareFrameScene(const Scene &scene) const;
+
+    /** Per-frame statistics reset (memory + texture path), exactly
+     *  what renderSequence does between frames. Coordinating thread
+     *  only; must not run while a finishSequenceFrame is in flight. */
+    void resetFrameStats();
+
+    /**
+     * Phase 1 of one sequence frame: functional rasterization into
+     * replay records. Touches no simulation state (Renderer::
+     * recordFrame's contract), so it may run on a prep thread while
+     * the coordinating thread replays an earlier frame. `scene` must
+     * already be prepareFrameScene'd, and scene and fb must outlive
+     * the returned job. Requires gpu.render_threads >= 1.
+     */
+    std::unique_ptr<Renderer::FrameJob>
+    recordSequenceFrame(const Scene &scene, FrameBuffer &fb);
+
+    /**
+     * Phase 2 of one sequence frame: attribution install, timing
+     * replay and result assembly. Coordinating thread only, and jobs
+     * must be finished in recording order — then every SimResult is
+     * bit-identical to the unpipelined sequence. Consumes the job.
+     */
+    SimResult finishSequenceFrame(Renderer::FrameJob &job,
+                                  std::shared_ptr<FrameBuffer> fb);
+
     const SimConfig &config() const { return cfg_; }
 
     /** The observability context this simulator was built under. */
@@ -139,11 +193,28 @@ class RenderingSimulator
     const TrafficAttribution *attribution() const { return attrib_.get(); }
 
   private:
+    friend class SequenceRunner; //!< fused-loop fallback + reuse export
+
     void build();
 
     /** Render one frame against the currently built pipeline (shared
      *  by the cold and warm entry points). */
     SimResult renderOnce(const Scene &scene);
+
+    /** Point the memory system's TrafficSink at a fresh, texture-
+     *  mapped TrafficAttribution when the profiler is active (else
+     *  clear it). Coordinating thread only. */
+    void installAttribution(const Scene &scene);
+
+    /** The post-render tail shared by renderOnce and
+     *  finishSequenceFrame: traffic meters, energy inputs, fault and
+     *  inter-frame-reuse counters into `r`. */
+    void finalizeResult(SimResult &r);
+
+    /** Record one finished sequence frame's block-reuse numbers into
+     *  `r`, the "sequence" stat group and the frame's attribution. */
+    void noteFrameReuse(SimResult &r, u64 unique_blocks,
+                        u64 reused_prev);
 
     SimConfig cfg_;
     SimContext &ctx_; //!< context captured at construction
@@ -152,6 +223,11 @@ class RenderingSimulator
     std::unique_ptr<TexturePath> tex_path_;
     std::unique_ptr<Renderer> renderer_;
     std::unique_ptr<TrafficAttribution> attrib_;
+    /** "sequence" stat group (frames, unique_blocks, ...), created on
+     *  the first beginSequence so single-frame runs don't carry it.
+     *  Lives on the simulator, not the runner: it must outlive the
+     *  sequence for post-run stat export. */
+    std::unique_ptr<StatGroup> seq_stats_;
     MemorySystem *mem_ = nullptr;
 };
 

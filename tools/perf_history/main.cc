@@ -3,15 +3,18 @@
  * Performance-trajectory tool for the perf-smoke CI job.
  *
  * BENCH_PERF.json (written by bench/perf_render, schema
- * "texpim-perf-v1" or "texpim-perf-v2" — v2 adds per-run
- * record_bytes_decoded and a sampler field, neither of which this
- * tool summarizes) is a single snapshot; this tool turns the
- * snapshots into a trajectory:
+ * "texpim-perf-v1" through "texpim-perf-v3" — v2 adds per-run
+ * record_bytes_decoded and a sampler field, v3 an optional "sequence"
+ * object for multi-frame camera-path runs) is a single snapshot; this
+ * tool turns the snapshots into a trajectory:
  *
  *   perf_history append <BENCH_PERF.json> <history.jsonl> [label=...]
  *       Append one summary line (JSONL) for the snapshot: bench
  *       identity (workload/design/size), best fps over the thread
  *       points, frame cycles, and an optional label (the CI commit).
+ *       A snapshot with a "sequence" object (perf_render frames=N)
+ *       appends a second line whose workload is "<wl>-seq<N>" — the
+ *       sequence throughput forms its own trajectory.
  *
  *   perf_history check <BENCH_PERF.json> <history.jsonl>
  *                      [band=0.5] [min_history=3]
@@ -19,7 +22,9 @@
  *       of matching history entries (same workload, design and
  *       resolution). Exits 1 when fps < median * (1 - band). With
  *       fewer than min_history matching entries the check passes
- *       trivially — the trajectory is still warming up.
+ *       trivially — the trajectory is still warming up. The sequence
+ *       bucket, when present, is checked the same way against its own
+ *       "<wl>-seq<N>" history.
  *
  * The band is deliberately wide by default (50%): shared CI runners
  * are noisy, and the gate exists to catch order-of-magnitude
@@ -292,13 +297,15 @@ readFile(const std::string &path, std::string &out)
 bool
 summarize(const JsonValue &perf, Summary &out)
 {
-    // v2 adds record_bytes_decoded per run and a sampler field; the
-    // headline numbers this tool tracks are identical in both, so old
-    // history lines remain comparable across the schema bump.
+    // v2 adds record_bytes_decoded per run and a sampler field, v3 an
+    // optional "sequence" object; the headline numbers this tool
+    // tracks are identical across all three, so old history lines
+    // remain comparable across the schema bumps.
     const std::string schema = perf.str("schema");
-    if (schema != "texpim-perf-v1" && schema != "texpim-perf-v2") {
+    if (schema != "texpim-perf-v1" && schema != "texpim-perf-v2" &&
+        schema != "texpim-perf-v3") {
         std::fprintf(stderr,
-                     "perf_history: not a texpim-perf-v1/v2 file\n");
+                     "perf_history: not a texpim-perf-v1/v2/v3 file\n");
         return false;
     }
     out.workload = perf.str("workload");
@@ -317,6 +324,47 @@ summarize(const JsonValue &perf, Summary &out)
         std::fprintf(stderr, "perf_history: no positive fps in runs\n");
         return false;
     }
+    return true;
+}
+
+/**
+ * Every trackable bucket in a snapshot: the single-frame summary,
+ * plus — when the snapshot has a "sequence" object (frames=N was
+ * passed to perf_render) — a second bucket keyed "<wl>-seq<N>" with
+ * the best sequence fps over the pipeline-depth points. Keying the
+ * sequence bucket into the workload string keeps the history-line
+ * format and the matching logic unchanged; old tools just see another
+ * workload.
+ */
+bool
+summarizeAll(const JsonValue &perf, std::vector<Summary> &out)
+{
+    Summary base;
+    if (!summarize(perf, base))
+        return false;
+    out.push_back(base);
+    const JsonValue *seq = perf.find("sequence");
+    if (seq == nullptr)
+        return true;
+    Summary s = base;
+    unsigned frames = unsigned(seq->num("frames"));
+    s.workload += "-seq" + std::to_string(frames);
+    s.frameCycles = seq->num("frame_cycles");
+    s.bestFps = 0.0;
+    const JsonValue *runs = seq->find("runs");
+    if (runs == nullptr || runs->array.empty()) {
+        std::fprintf(stderr,
+                     "perf_history: sequence object has no runs\n");
+        return false;
+    }
+    for (const JsonValue &run : runs->array)
+        s.bestFps = std::max(s.bestFps, run.num("fps"));
+    if (!(s.bestFps > 0.0)) {
+        std::fprintf(stderr,
+                     "perf_history: no positive fps in sequence runs\n");
+        return false;
+    }
+    out.push_back(std::move(s));
     return true;
 }
 
@@ -395,8 +443,8 @@ cmdAppend(const std::string &perf_path, const std::string &history_path,
                      perf_path.c_str());
         return 2;
     }
-    Summary s;
-    if (!summarize(perf, s))
+    std::vector<Summary> buckets;
+    if (!summarizeAll(perf, buckets))
         return 2;
 
     std::ofstream out(history_path, std::ios::app);
@@ -405,18 +453,22 @@ cmdAppend(const std::string &perf_path, const std::string &history_path,
                      history_path.c_str());
         return 2;
     }
-    char line[512];
-    std::snprintf(line, sizeof line,
-                  "{\"workload\":\"%s\",\"design\":\"%s\","
-                  "\"width\":%u,\"height\":%u,\"best_fps\":%.6g,"
-                  "\"frame_cycles\":%.17g,\"label\":\"%s\"}",
-                  escapeJson(s.workload).c_str(),
-                  escapeJson(s.design).c_str(), s.width, s.height,
-                  s.bestFps, s.frameCycles, escapeJson(label).c_str());
-    out << line << '\n';
-    std::printf("perf_history: appended %s (%s %ux%u, %.2f fps) to %s\n",
-                s.design.c_str(), s.workload.c_str(), s.width, s.height,
-                s.bestFps, history_path.c_str());
+    for (const Summary &s : buckets) {
+        char line[512];
+        std::snprintf(line, sizeof line,
+                      "{\"workload\":\"%s\",\"design\":\"%s\","
+                      "\"width\":%u,\"height\":%u,\"best_fps\":%.6g,"
+                      "\"frame_cycles\":%.17g,\"label\":\"%s\"}",
+                      escapeJson(s.workload).c_str(),
+                      escapeJson(s.design).c_str(), s.width, s.height,
+                      s.bestFps, s.frameCycles,
+                      escapeJson(label).c_str());
+        out << line << '\n';
+        std::printf(
+            "perf_history: appended %s (%s %ux%u, %.2f fps) to %s\n",
+            s.design.c_str(), s.workload.c_str(), s.width, s.height,
+            s.bestFps, history_path.c_str());
+    }
     return 0;
 }
 
@@ -436,40 +488,48 @@ cmdCheck(const std::string &perf_path, const std::string &history_path,
                      perf_path.c_str());
         return 2;
     }
-    Summary now;
-    if (!summarize(perf, now))
+    std::vector<Summary> buckets;
+    if (!summarizeAll(perf, buckets))
         return 2;
 
-    std::vector<double> fps;
-    for (const Summary &s : loadHistory(history_path))
-        if (s.sameBench(now))
-            fps.push_back(s.bestFps);
+    std::vector<Summary> history = loadHistory(history_path);
+    int rc = 0;
+    for (const Summary &now : buckets) {
+        std::vector<double> fps;
+        for (const Summary &s : history)
+            if (s.sameBench(now))
+                fps.push_back(s.bestFps);
 
-    if (fps.size() < min_history) {
-        std::printf("perf_history: only %zu matching history entries "
-                    "(< %u) — check passes trivially\n",
-                    fps.size(), min_history);
-        return 0;
-    }
+        if (fps.size() < min_history) {
+            std::printf("perf_history: %s: only %zu matching history "
+                        "entries (< %u) — check passes trivially\n",
+                        now.workload.c_str(), fps.size(), min_history);
+            continue;
+        }
 
-    std::sort(fps.begin(), fps.end());
-    double median = fps.size() % 2 == 1
-                        ? fps[fps.size() / 2]
-                        : 0.5 * (fps[fps.size() / 2 - 1] +
-                                 fps[fps.size() / 2]);
-    double floor = median * (1.0 - band);
-    std::printf("perf_history: %.2f fps now, median %.2f over %zu "
-                "entries, floor %.2f (band %.0f%%)\n",
-                now.bestFps, median, fps.size(), floor, band * 100.0);
-    if (now.bestFps < floor) {
-        std::fprintf(stderr,
-                     "perf_history: REGRESSION — %.2f fps is below the "
-                     "%.2f fps floor (median %.2f, band %.0f%%)\n",
-                     now.bestFps, floor, median, band * 100.0);
-        return 1;
+        std::sort(fps.begin(), fps.end());
+        double median = fps.size() % 2 == 1
+                            ? fps[fps.size() / 2]
+                            : 0.5 * (fps[fps.size() / 2 - 1] +
+                                     fps[fps.size() / 2]);
+        double floor = median * (1.0 - band);
+        std::printf("perf_history: %s: %.2f fps now, median %.2f over "
+                    "%zu entries, floor %.2f (band %.0f%%)\n",
+                    now.workload.c_str(), now.bestFps, median,
+                    fps.size(), floor, band * 100.0);
+        if (now.bestFps < floor) {
+            std::fprintf(
+                stderr,
+                "perf_history: REGRESSION — %s %.2f fps is below the "
+                "%.2f fps floor (median %.2f, band %.0f%%)\n",
+                now.workload.c_str(), now.bestFps, floor, median,
+                band * 100.0);
+            rc = 1;
+        }
     }
-    std::printf("perf_history: OK\n");
-    return 0;
+    if (rc == 0)
+        std::printf("perf_history: OK\n");
+    return rc;
 }
 
 int
