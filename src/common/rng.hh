@@ -14,6 +14,8 @@
 
 namespace texpim {
 
+// texpim-lint: caller-owned each user constructs a private seeded
+// generator; next() mutates only that object's own state
 class Rng
 {
   public:

@@ -946,6 +946,8 @@ Renderer::prefetchOrderTiles(FrameCtx &ctx)
     }
 }
 
+// texpim-lint: phase-root functional phase-1 entry; runs off-thread in
+// pipelined sequences and fans out to the render pool
 std::unique_ptr<Renderer::FrameJob>
 Renderer::recordFrame(const Scene &scene, FrameBuffer &fb)
 {
@@ -975,6 +977,8 @@ Renderer::recordFrame(const Scene &scene, FrameBuffer &fb)
     {
         // Wall-only zone; inert when a pipelined sequence records on
         // its prep thread (no profiler context there, rule D2).
+        // texpim-lint: allow(P1) wall-only zone:
+        // charges no cycle-domain profile; inert on the prep thread (D2)
         TEXPIM_PROF_SCOPE(prof::kZoneSample);
         recordPhase(ctx);
     }

@@ -131,6 +131,8 @@ struct FragRecord
 };
 
 /** Everything phase 1 recorded for one tile. */
+// texpim-lint: caller-owned one record per tile, owned by the
+// worker that rasterizes that tile
 struct TileRecord
 {
     std::vector<FragRecord> frags;

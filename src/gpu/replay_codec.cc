@@ -28,6 +28,8 @@ constexpr u8 kSampleDecomp = 1; //!< decomposition section present
  * constant channel (e.g. opaque alpha) costs one byte. Bit-exact by
  * construction — the prediction never rounds.
  */
+// texpim-lint: caller-owned codec state local to one
+// encode/decode call
 struct FloatChannel
 {
     u32 prev = 0;

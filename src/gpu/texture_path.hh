@@ -51,6 +51,7 @@ struct TexResponse
     Cycle complete = 0;
 };
 
+// texpim-lint: pool-shared one path object serves every phase-1 worker
 class TexturePath
 {
   public:
@@ -73,6 +74,8 @@ class TexturePath
      * memory-system state, so concurrent calls from phase-1 worker
      * threads are safe (each worker owns its stream and scratch).
      */
+    // texpim-lint: phase-root functional phase-1 entry; every override
+    // runs concurrently on the render pool
     virtual void sample(const TexRequest &req, ReplayStream &stream,
                         SamplerScratch &scratch) const = 0;
 
@@ -90,6 +93,8 @@ class TexturePath
      * (computeLod(tex, coords, maxAniso).anisoRatio) per lane. Pure,
      * like sample().
      */
+    // texpim-lint: phase-root functional phase-1 quad entry; overrides
+    // run concurrently on the render pool
     virtual void
     sampleQuad(const TexRequest &base, const SampleCoords *coords,
                unsigned count, ReplayStream &stream,

@@ -20,6 +20,8 @@ constexpr float kRepsPerUnit = 0.25f;
 u32
 addTex(Scene &s, Material m, unsigned size, u64 seed)
 {
+    // texpim-lint: allow(T1) ownership transfer: the store belongs to a
+    // scene still under construction, not yet published to the pool
     return s.textures->add(std::string(materialName(m)) + "_" +
                                std::to_string(size) + "_" +
                                std::to_string(seed & 0xffff),

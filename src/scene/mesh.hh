@@ -25,6 +25,7 @@ struct Vertex
 };
 
 /** An indexed triangle list. */
+// texpim-lint: pool-shared scene meshes are read by every phase-1 worker
 struct Mesh
 {
     std::vector<Vertex> verts;

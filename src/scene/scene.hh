@@ -65,6 +65,7 @@ struct RenderSettings
 };
 
 /** A renderable scene plus its texture store. */
+// texpim-lint: pool-shared one scene snapshot is read by every phase-1 worker
 struct Scene
 {
     std::string name;

@@ -141,6 +141,8 @@ SequenceRunner::runPipelined(const Workload &wl, unsigned num_frames,
     bool stop = false;
     std::exception_ptr prep_error;
 
+    // texpim-lint: phase-root prep thread records frame k+1 while
+    // frame k's serial replay runs on the caller thread
     std::thread prep([&] {
         try {
             std::vector<Addr> prev_blocks;

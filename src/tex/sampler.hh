@@ -55,6 +55,8 @@ struct TexFetch
 };
 
 /** Result of conventional (baseline) filtering. */
+// texpim-lint: caller-owned result buffer inside each worker's
+// SamplerScratch
 struct SampleResult
 {
     ColorF color{};
@@ -82,6 +84,8 @@ struct ParentTexel
 };
 
 /** Result of A-TFIM-decomposed filtering. */
+// texpim-lint: caller-owned result buffer inside each worker's
+// SamplerScratch
 struct DecomposedSampleResult
 {
     ColorF color{};

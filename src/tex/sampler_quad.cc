@@ -29,6 +29,8 @@ namespace texpim {
 
 using sdetail::LevelGeom;
 
+// texpim-lint: phase-root quad sampler entry, called from phase-1
+// worker threads
 void
 sampleConventionalQuad(const Texture &tex, const SampleCoords *coords,
                        unsigned count, FilterMode mode, unsigned max_aniso,
@@ -187,6 +189,8 @@ sampleConventionalQuad(const Texture &tex, const SampleCoords *coords,
     }
 }
 
+// texpim-lint: phase-root quad sampler entry, called from phase-1
+// worker threads
 void
 sampleDecomposedQuad(const Texture &tex, const SampleCoords *coords,
                      unsigned count, FilterMode mode, unsigned max_aniso,

@@ -54,6 +54,7 @@ part1by1(u64 v)
 } // namespace detail
 
 /** A single RGBA8 image (one mip level). */
+// texpim-lint: pool-shared scene textures are read by every phase-1 worker
 class TextureImage
 {
   public:
@@ -96,6 +97,7 @@ enum class TexelFormat : u8 {
  * Texture is alive and are meant to live on the stack of a sampling
  * call, not to be stored.
  */
+// texpim-lint: pool-shared borrowed texture views cross worker threads
 struct MipView
 {
     const ColorF *pixelsF; //!< row-major pre-unpacked level pixels
@@ -200,6 +202,7 @@ struct MipView
  * block holding the texel (so a cache line covers 8 blocks = 128
  * texels, the compression bandwidth win).
  */
+// texpim-lint: pool-shared scene textures are read by every phase-1 worker
 class Texture
 {
   public:
@@ -277,6 +280,7 @@ class Texture
  * Also maps a texel address back to its texture (used by PIM units to
  * interpret parent-texel packages).
  */
+// texpim-lint: pool-shared one store per scene, read by every phase-1 worker
 class TextureStore
 {
   public:

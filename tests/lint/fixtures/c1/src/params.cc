@@ -4,5 +4,6 @@ static const char *keys[] = {
     "used_key",
     "dead_key",
     "undocumented_key",
+    "sim.depth",
 };
 // texpim-lint: config-key-table end

@@ -7,3 +7,11 @@ int readKeys(const Cfg &cfg)
     int c = cfg.getInt("undocumented_key", 3);
     return a + b + c;
 }
+
+struct Stats { int &counter(const char *name); };
+
+int touchMore(const Cfg &cfg, Stats &stats)
+{
+    stats.counter("frames");
+    return cfg.getInt("sim.depth", 4);
+}

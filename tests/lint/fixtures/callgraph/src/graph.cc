@@ -1,0 +1,69 @@
+// Gnarly-C++ fixture for the call-graph indexer: overloads, a class
+// hierarchy with out-of-line virtual methods, a template function, a
+// lambda assigned to a std::function member, and receivers the indexer
+// cannot type. The test asserts --callgraph-dump output.
+#include <functional>
+
+void overload(int v) { (void)v; }
+void overload(double v) { (void)v; }
+
+struct Base
+{
+    virtual void go();
+    void helper() const {}
+};
+
+struct Derived : Base
+{
+    void go() override;
+};
+
+template <typename T>
+T
+twice(T v)
+{
+    return v + v;
+}
+
+struct Holder
+{
+    std::function<void()> hook;
+    Holder()
+    {
+        hook = [this] { overload(1); };
+    }
+    void fire();
+    void invoke() { hook(); }
+};
+
+void
+Base::go()
+{
+    helper();
+}
+
+void
+Derived::go()
+{
+    overload(2.5);
+    Base::go(); // explicit qualification suppresses derived dispatch
+}
+
+void
+Holder::fire()
+{
+    Base b;
+    b.go();
+}
+
+struct Unknowable; // declared, never defined: receivers stay external
+Unknowable &pick(int k);
+
+int
+entry(int k)
+{
+    Holder h;
+    h.fire();
+    pick(k);
+    return twice(3);
+}

@@ -1,0 +1,29 @@
+// E1 fixture: TEXPIM_PANIC and throw reachable from destructor /
+// noexcept contexts; the same constructs elsewhere stay quiet.
+bool failed();
+
+struct Guard
+{
+    ~Guard() { finish(); }
+    void finish();
+};
+
+void
+Guard::finish()
+{
+    if (failed())
+        TEXPIM_PANIC("fixture: panic reachable from a destructor");
+}
+
+void
+risky() noexcept
+{
+    throw 1; // E1: throw in a noexcept context
+}
+
+void
+plainPanic()
+{
+    // quiet: not reachable from any destructor or noexcept function
+    TEXPIM_PANIC("fixture: ordinary failure path");
+}

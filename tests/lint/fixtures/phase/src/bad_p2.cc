@@ -1,0 +1,32 @@
+// P2 fixture: member and mutable-static writes reachable from a phase
+// root, with the caller-owned and constructor exemptions.
+static int g_ticks = 0;
+
+struct Accum
+{
+    int total = 0;
+
+    Accum() { total = 1; } // constructors initialize a fresh object
+
+    // texpim-lint: phase-root fixture phase entry that writes a member
+    void
+    bump(int shadowed)
+    {
+        int total2 = shadowed;
+        total += total2; // P2: member write in the phase
+        ++g_ticks;       // P2: mutable static write in the phase
+    }
+};
+
+// texpim-lint: caller-owned fixture scratch each worker constructs
+struct Scratch
+{
+    int n = 0;
+
+    // texpim-lint: phase-root fixture phase entry on caller-owned type
+    void
+    reset()
+    {
+        n = 0; // quiet: the owning worker mutates its own scratch
+    }
+};

@@ -1,0 +1,29 @@
+// T1 fixture: non-const calls on a pool-shared receiver from the
+// phase, with the const-method, by-value-local and hierarchy cases.
+// texpim-lint: pool-shared fixture store read by every phase worker
+struct Store
+{
+    int gen = 0;
+    virtual void mutate() { gen = 1; }
+    int peek() const { return gen; }
+};
+
+struct SubStore : Store // inherits the pool-shared mark
+{
+    void mutate() override { gen = 2; }
+};
+
+struct WorkCtx
+{
+    Store *store;
+};
+
+// texpim-lint: phase-root fixture worker entry for the T1 cases
+void
+workerT1(WorkCtx &ctx)
+{
+    ctx.store->mutate();   // T1: non-const on pool-shared receiver
+    (void)ctx.store->peek(); // quiet: const
+    SubStore local;
+    local.mutate(); // quiet: by-value local is a private copy
+}

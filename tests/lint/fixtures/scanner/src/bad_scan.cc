@@ -1,0 +1,11 @@
+// Violations adjacent to the blind-spot constructs must still fire:
+// the scanner may not over-blank its way past real code.
+#include <cstdlib>
+int after_raw() { return (void)R"(decoy)", rand(); }
+#if 0
+int dead() { return rand(); }
+#else
+int live_else_branch() { return rand(); }
+#endif
+// an ordinary comment ends at the newline . . . no splice here.
+int after_comment() { return rand(); }

@@ -1,0 +1,19 @@
+// Scanner blind spots: every D1 trigger below hides inside a raw
+// string, a backslash-spliced line comment or an #if 0 block, so
+// nothing in this file may fire.
+#include <cstdlib>
+const char *raw = R"(rand() and getenv("HOME") inside a raw string)";
+const char *rawDelim = R"x(rand() with an embedded )" quote)x";
+// a spliced line comment hides the next physical line too \
+int hidden_by_splice() { return rand(); }
+#if 0
+int dead_simple() { return rand(); }
+#if 1
+int dead_nested() { return rand(); }
+#endif
+int dead_tail() { return rand(); }
+#endif
+#if false
+int dead_false() { return rand(); }
+#endif
+int alive() { return 7; }

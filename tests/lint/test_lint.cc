@@ -191,9 +191,18 @@ TEST(TexpimLint, C1ReconcilesTableSourcesAndDocsThreeWays)
     // A documented key that does not exist (stale docs).
     EXPECT_NE(r.out.find("README.md:8: [C1]"), std::string::npos) << r.out;
     EXPECT_NE(r.out.find("'ghost_key'"), std::string::npos) << r.out;
-    EXPECT_EQ(countOf(r.out, "[C1]"), 4) << r.out;
+    // A prose mention of a key in a known namespace that does not
+    // exist (the doc-mention extension).
+    EXPECT_NE(r.out.find("README.md:13: [C1]"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("'sim.ghost'"), std::string::npos) << r.out;
+    EXPECT_EQ(countOf(r.out, "[C1]"), 5) << r.out;
     // used_key is listed, read and documented: never mentioned.
     EXPECT_EQ(r.out.find("'used_key'"), std::string::npos) << r.out;
+    // sim.depth exists, sim.frames is a registered stat leaf, and
+    // other.thing is outside every known namespace: all quiet.
+    EXPECT_EQ(r.out.find("'sim.depth'"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("'sim.frames'"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("'other.thing'"), std::string::npos) << r.out;
 }
 
 TEST(TexpimLint, BaselineSuppressesKnownFindingsByRulePathKey)
@@ -228,6 +237,191 @@ TEST(TexpimLint, BaselineSuppressesKnownFindingsByRulePathKey)
         << clean.out;
 
     std::remove(baseline.c_str());
+}
+
+TEST(TexpimLint, ScannerIgnoresRawStringsSplicedCommentsAndIfZero)
+{
+    LintRun r =
+        runLint("--repo-root " + fixture("scanner") + " --rules D1,A0 src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    // Violations adjacent to the blind-spot constructs still fire: on
+    // the raw-string line, in a live #else branch, and after an
+    // ordinary (non-spliced) comment.
+    EXPECT_NE(r.out.find("src/bad_scan.cc:4: [D1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("src/bad_scan.cc:8: [D1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("src/bad_scan.cc:11: [D1]"), std::string::npos)
+        << r.out;
+    EXPECT_EQ(countOf(r.out, "[D1]"), 3) << r.out;
+    // rand()/getenv() inside raw strings (plain and custom-delimiter),
+    // on a line hidden by a backslash-spliced line comment, and in
+    // #if 0 / #if false blocks (including nesting) never fire.
+    EXPECT_EQ(r.out.find("clean_scan.cc"), std::string::npos) << r.out;
+}
+
+TEST(TexpimLint, CheckBaselineFlagsStaleEntriesAndRequiresBaseline)
+{
+    std::string root = "--repo-root " + fixture("baseline") + " --rules D1 ";
+    std::string baseline = testing::TempDir() + "texpim_lint_stale.txt";
+    {
+        std::ofstream out(baseline);
+        out << "D1|src/bad.cc|rand()/srand()\n";      // still real
+        out << "D1|src/gone.cc|rand()/srand()\n";     // stale
+    }
+
+    LintRun r =
+        runLint(root + "--baseline " + baseline + " --check-baseline src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    EXPECT_NE(r.out.find("D1|src/gone.cc|rand()/srand(): "
+                         "[stale-baseline] entry matches no current "
+                         "finding"),
+              std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("0 new finding(s), 1 baselined, "
+                         "1 stale baseline entry"),
+              std::string::npos)
+        << r.out;
+
+    // Without the staleness gate the same baseline passes (a superset
+    // baseline is only an error under --check-baseline).
+    LintRun lax = runLint(root + "--baseline " + baseline + " src");
+    EXPECT_EQ(lax.exitCode, 0) << lax.out;
+
+    // --check-baseline without --baseline is a usage error.
+    LintRun usage = runLint(root + "--check-baseline src");
+    EXPECT_EQ(usage.exitCode, 2) << usage.out;
+
+    std::remove(baseline.c_str());
+}
+
+TEST(TexpimLint, CallgraphDumpIndexesGnarlyCpp)
+{
+    LintRun r = runLint("--repo-root " + fixture("callgraph") +
+                        " --callgraph-dump src");
+    EXPECT_EQ(r.exitCode, 0) << r.out;
+    // Out-of-line methods attach to their class; the hierarchy is
+    // indexed.
+    EXPECT_NE(r.out.find("class Derived src/graph.cc:16 bases=Base"),
+              std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("func Base::go"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("func Derived::go"), std::string::npos) << r.out;
+    // Overloads must-not-miss: an unqualified call to an overloaded
+    // free function targets every overload.
+    EXPECT_NE(r.out.find("call overload line=48 -> overload, overload"),
+              std::string::npos)
+        << r.out;
+    // Virtual dispatch: a call through a Base receiver also targets
+    // every override in the derived closure...
+    EXPECT_NE(r.out.find("member go line=56 -> Base::go, Derived::go"),
+              std::string::npos)
+        << r.out;
+    // ...unless explicitly qualified, which pins the target.
+    EXPECT_NE(r.out.find("qualified go line=49 -> Base::go"),
+              std::string::npos)
+        << r.out;
+    // A lambda assigned inside a member function hangs off its host,
+    // and its body is indexed like any function.
+    EXPECT_NE(r.out.find("lambda -> <lambda src/graph.cc:33>"),
+              std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("call overload line=33 -> overload, overload"),
+              std::string::npos)
+        << r.out;
+    // Templates resolve by name; constructors resolve via the local
+    // declaration; a receiver of a never-defined type stays external
+    // (the documented std::function indirection hole likewise).
+    EXPECT_NE(r.out.find("call twice line=68 -> twice"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("construct Holder line=65 -> Holder::Holder"),
+              std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("call pick line=67 -> (external)"),
+              std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("call hook line=36 -> (external)"),
+              std::string::npos)
+        << r.out;
+}
+
+TEST(TexpimLint, P1CatchesInjectedStatWriteInSample)
+{
+    // The acceptance case: a stat write smuggled into a phase-root
+    // sample() through an intermediate call is caught with the path.
+    LintRun r =
+        runLint("--repo-root " + fixture("phase") + " --rules P1,A0 src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    EXPECT_NE(r.out.find("src/bad_p1.cc:18: [P1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("StatGroup::add"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("PathImpl::sample -> PathImpl::leak"),
+              std::string::npos)
+        << r.out;
+    // A zone charge in the phase is P1 too.
+    EXPECT_NE(r.out.find("src/bad_p1.cc:27: [P1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("TEXPIM_PROF_SCOPE"), std::string::npos) << r.out;
+    EXPECT_EQ(countOf(r.out, "[P1]"), 2) << r.out;
+    // The const stats_.size() read and the unreachable replay()'s stat
+    // write are both fine.
+    EXPECT_EQ(r.out.find("PathImpl::replay"), std::string::npos) << r.out;
+}
+
+TEST(TexpimLint, P2FlagsMemberAndStaticWritesHonoringExemptions)
+{
+    LintRun r = runLint("--repo-root " + fixture("phase") +
+                        " --rules P2,A0 src/bad_p2.cc");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    EXPECT_NE(r.out.find("src/bad_p2.cc:16: [P2]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("member `total`"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("src/bad_p2.cc:17: [P2]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("mutable static `g_ticks`"), std::string::npos)
+        << r.out;
+    EXPECT_EQ(countOf(r.out, "[P2]"), 2) << r.out;
+    // The constructor's write, the local `total2` shadow-alike, and the
+    // caller-owned Scratch's writes are all exempt.
+    EXPECT_EQ(r.out.find("Accum::Accum"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("total2"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("Scratch"), std::string::npos) << r.out;
+}
+
+TEST(TexpimLint, T1FlagsNonConstCallsOnPoolSharedReceivers)
+{
+    LintRun r =
+        runLint("--repo-root " + fixture("phase") + " --rules T1,A0 src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    // Virtual dispatch reports the base method and every override.
+    EXPECT_NE(r.out.find("src/bad_t1.cc:25: [T1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("Store::mutate"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("SubStore::mutate"), std::string::npos) << r.out;
+    EXPECT_EQ(countOf(r.out, "[T1]"), 2) << r.out;
+    // The const peek() and the mutate() on a by-value local copy are
+    // both fine.
+    EXPECT_EQ(r.out.find("src/bad_t1.cc:26"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("src/bad_t1.cc:28"), std::string::npos) << r.out;
+}
+
+TEST(TexpimLint, E1FlagsPanicAndThrowInDtorNoexceptContexts)
+{
+    LintRun r =
+        runLint("--repo-root " + fixture("phase") + " --rules E1,A0 src");
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    // TEXPIM_PANIC out-of-line but reachable from a destructor.
+    EXPECT_NE(r.out.find("src/bad_e1.cc:15: [E1]"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("Guard::~Guard -> Guard::finish"),
+              std::string::npos)
+        << r.out;
+    // A literal throw inside a noexcept function.
+    EXPECT_NE(r.out.find("src/bad_e1.cc:21: [E1]"), std::string::npos)
+        << r.out;
+    EXPECT_EQ(countOf(r.out, "[E1]"), 2) << r.out;
+    // The same macro on an ordinary failure path stays quiet.
+    EXPECT_EQ(r.out.find("plainPanic"), std::string::npos) << r.out;
 }
 
 TEST(TexpimLint, CleanScanExitsZero)

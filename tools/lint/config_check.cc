@@ -130,9 +130,40 @@ runConfigRule(const std::vector<SourceFile> &files, const Options &opt,
     }
 
     // --- documentation ---
+    // Namespaces the table establishes (`gpu` for `gpu.width`): a
+    // backticked dotted mention in prose whose first segment is one of
+    // these claims to name a config key, so it must exist.
+    std::set<std::string> namespaces;
+    for (const auto &kv : table) {
+        size_t dot = kv.first.find('.');
+        if (dot != std::string::npos)
+            namespaces.insert(kv.first.substr(0, dot));
+    }
+
+    // Stat names share the namespace vocabulary (`hmc.crc_errors` is a
+    // counter, not a knob): a mention whose leaf is a registered stat
+    // name is a stat path, so the mention check skips it.
+    std::set<std::string> statLeafs;
+    static const std::regex statRe(
+        R"re(\.\s*(counter|average|histogram)\s*\(\s*"([^"]+)")re");
+    for (const SourceFile &f : files) {
+        std::string joined;
+        for (const std::string &l : f.codeStr) {
+            joined += l;
+            joined += '\n';
+        }
+        for (auto it = std::sregex_iterator(joined.begin(), joined.end(),
+                                            statRe);
+             it != std::sregex_iterator(); ++it)
+            statLeafs.insert((*it)[2].str());
+    }
+
     std::set<std::string> documented;  // `key` appears in any doc file
     std::map<std::string, Located> docTable; // explicit reference table
+    std::map<std::string, Located> docMention; // prose `ns.key` mentions
     static const std::regex docRowRe(R"(^\s*\|\s*`([^`]+)`)");
+    static const std::regex mentionRe(
+        R"re(`([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z0-9_]+)+)`)re");
     for (const std::string &doc : opt.docPaths) {
         std::vector<std::string> lines =
             readLines(opt.repoRoot + "/" + doc);
@@ -158,6 +189,15 @@ runConfigRule(const std::vector<SourceFile> &files, const Options &opt,
                 std::string key = m[1].str();
                 if (!docTable.count(key))
                     docTable[key] = {doc, int(i) + 1};
+            }
+            for (auto it = std::sregex_iterator(l.begin(), l.end(),
+                                                mentionRe);
+                 it != std::sregex_iterator(); ++it) {
+                std::string key = (*it)[1].str();
+                std::string leaf = key.substr(key.rfind('.') + 1);
+                if (namespaces.count(key.substr(0, key.find('.'))) &&
+                    !statLeafs.count(leaf) && !docMention.count(key))
+                    docMention[key] = {doc, int(i) + 1};
             }
         }
     }
@@ -189,6 +229,13 @@ runConfigRule(const std::vector<SourceFile> &files, const Options &opt,
                 "documented config key '" + kv.first +
                     "' does not exist in the known-key table (stale "
                     "documentation?)");
+    }
+    for (const auto &kv : docMention) {
+        if (!table.count(kv.first) && !docTable.count(kv.first))
+            add(out, kv.second.path, kv.second.line, kv.first,
+                "doc mentions config key '" + kv.first +
+                    "' in a known namespace but no such key exists "
+                    "(stale prose?)");
     }
 }
 

@@ -46,6 +46,36 @@ parseAnnotation(SourceFile &f, int line, const std::string &comment)
     if (at == std::string::npos)
         return;
     std::string rest = trim(comment.substr(at + tag.size()));
+
+    // Call-graph markers: `phase-root`, `pool-shared`, `caller-owned`,
+    // each followed by a written justification (A0 applies).
+    struct Marker {
+        const char *word;
+        std::map<int, std::string> SourceFile::*field;
+    };
+    static const Marker kMarkers[] = {
+        {"phase-root", &SourceFile::phaseRoot},
+        {"pool-shared", &SourceFile::poolShared},
+        {"caller-owned", &SourceFile::callerOwned},
+    };
+    for (const Marker &m : kMarkers) {
+        std::string word = m.word;
+        if (rest.rfind(word, 0) != 0)
+            continue;
+        std::string reason = trim(rest.substr(word.size()));
+        (f.*(m.field))[line] = reason;
+        if (reason.size() < 8) {
+            Finding a0;
+            a0.rule = "A0";
+            a0.path = f.path;
+            a0.line = line;
+            a0.key = word;
+            a0.message = word + " annotation needs a written justification";
+            f.annotationFindings.push_back(a0);
+        }
+        return;
+    }
+
     const std::string allow = "allow(";
     if (rest.rfind(allow, 0) != 0)
         return; // config-key-table markers etc. live elsewhere
@@ -75,6 +105,87 @@ parseAnnotation(SourceFile &f, int line, const std::string &comment)
                      ") annotation needs a written justification";
         f.annotationFindings.push_back(a0);
     }
+}
+
+/** Blank the interior of `#if 0` / `#if false` blocks (spaces, layout
+ *  preserved) before the comment/string state machine runs: dead code
+ *  often holds unbalanced quotes and rule-matching text that must not
+ *  leak into the scanned views. Nested conditionals inside the dead
+ *  region are tracked; an `#else`/`#elif` at the dead `#if`'s own
+ *  level re-enables scanning (that branch compiles). */
+std::string
+stripIfZeroBlocks(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    int deadDepth = -1; // nesting depth of conditionals inside the dead
+                        // region; -1 = live
+    size_t i = 0;
+    while (i <= text.size()) {
+        size_t eol = text.find('\n', i);
+        size_t end = eol == std::string::npos ? text.size() : eol;
+        std::string lineText = text.substr(i, end - i);
+        std::string t = trim(lineText);
+        bool directive = !t.empty() && t[0] == '#';
+        std::string d = directive ? trim(t.substr(1)) : "";
+        auto isWord = [&](const char *w) {
+            std::string word = w;
+            return d.rfind(word, 0) == 0 &&
+                   (d.size() == word.size() ||
+                    !(std::isalnum((unsigned char)d[word.size()]) ||
+                      d[word.size()] == '_'));
+        };
+        bool blankThis = false;
+        if (deadDepth < 0) {
+            if (directive && isWord("if")) {
+                std::string cond = trim(d.substr(2));
+                if (cond == "0" || cond == "false" || cond == "(0)" ||
+                    cond == "(false)")
+                    deadDepth = 0;
+            }
+        } else {
+            blankThis = true; // dead region: blank everything but keep
+                              // the nesting bookkeeping below
+            if (directive) {
+                if (isWord("if") || isWord("ifdef") || isWord("ifndef")) {
+                    ++deadDepth;
+                } else if (isWord("endif")) {
+                    if (deadDepth == 0)
+                        deadDepth = -1;
+                    else
+                        --deadDepth;
+                } else if (isWord("else") || isWord("elif")) {
+                    if (deadDepth == 0)
+                        deadDepth = -1;
+                }
+            }
+        }
+        if (blankThis)
+            out.append(lineText.size(), ' ');
+        else
+            out += lineText;
+        if (eol == std::string::npos)
+            break;
+        out += '\n';
+        i = end + 1;
+    }
+    return out;
+}
+
+/** Is the identifier run ending `code` a raw-string prefix (R, u8R,
+ *  uR, UR, LR)? Rejects e.g. `FOUR"..."` where R merely ends another
+ *  identifier. */
+bool
+isRawStringPrefix(const std::string &code)
+{
+    size_t e = code.size();
+    size_t b = e;
+    while (b > 0 && (std::isalnum((unsigned char)code[b - 1]) ||
+                     code[b - 1] == '_'))
+        --b;
+    std::string id = code.substr(b, e - b);
+    return id == "R" || id == "u8R" || id == "uR" || id == "UR" ||
+           id == "LR";
 }
 
 } // namespace
@@ -112,7 +223,8 @@ loadSource(const std::string &absPath, const std::string &relPath)
         return f;
     std::ostringstream ss;
     ss << in.rdbuf();
-    const std::string text = ss.str();
+    const std::string rawText = ss.str();
+    const std::string text = stripIfZeroBlocks(rawText);
 
     // Character state machine. `code` blanks comments AND literals;
     // `codeStr` blanks only comments.
@@ -149,8 +261,10 @@ loadSource(const std::string &absPath, const std::string &relPath)
                 commentLine = line;
                 emit(c, false, false);
             } else if (c == '"') {
-                // Raw string literal? Look back for R (possibly u8R etc.)
-                bool raw = !code.empty() && code.back() == 'R';
+                // Raw string literal? Look back for an R / u8R / uR /
+                // UR / LR prefix (a mere trailing R of a longer
+                // identifier does not count).
+                bool raw = isRawStringPrefix(code);
                 if (raw) {
                     st = St::Raw;
                     rawDelim.clear();
@@ -175,7 +289,17 @@ loadSource(const std::string &absPath, const std::string &relPath)
             }
             break;
           case St::Line:
-            if (c == '\n') {
+            if (c == '\\' && (n == '\n' || (n == '\r' && i + 2 < text.size() &&
+                                            text[i + 2] == '\n'))) {
+                // Backslash-newline splices the next physical line into
+                // this // comment: the comment continues.
+                emit(c, false, false);
+                size_t skip = n == '\n' ? 1 : 2;
+                emit('\n', true, true);
+                ++line;
+                i += skip;
+                comment += ' ';
+            } else if (c == '\n') {
                 parseAnnotation(f, commentLine, comment);
                 st = St::Code;
                 emit(c, true, true);
@@ -251,7 +375,7 @@ loadSource(const std::string &absPath, const std::string &relPath)
             }
         }
     };
-    split(text, f.raw);
+    split(rawText, f.raw);
     split(code, f.code);
     split(codeStr, f.codeStr);
     return f;

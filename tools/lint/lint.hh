@@ -39,6 +39,28 @@
  *   [A0] every `texpim-lint: allow(...)` annotation must carry a
  *        written justification.
  *
+ * Call-graph rules (reachability from declared functional-phase roots,
+ * see tools/lint/callgraph.hh for the indexer):
+ *
+ *   [P1] nothing reachable from a phase root may touch a serial-only
+ *        API: StatGroup/Stat* mutation, StatRegistry, TraceEvents,
+ *        TEXPIM_PROF_* zone charges, FaultInjector. The functional
+ *        phase runs concurrently on the render pool; any of these
+ *        breaks DESIGN's "Deterministic attribution" rules.
+ *   [P2] nothing reachable from a phase root may write non-const,
+ *        non-thread_local namespace/static state or its own object's
+ *        members, outside classes annotated `texpim-lint:
+ *        caller-owned` (caller-owned scratch such as ReplayStream /
+ *        SamplerScratch is thread-private by construction).
+ *   [T1] classes annotated `texpim-lint: pool-shared` (textures,
+ *        scenes, meshes — one instance read by every render-pool
+ *        worker) must expose only const methods to the recorded phase;
+ *        non-const calls on shared receivers are flagged.
+ *   [E1] nothing reachable from a destructor or a noexcept function
+ *        may TEXPIM_PANIC or throw: the PR-7 panic-containment path
+ *        converts panics to exceptions, and an escape through a
+ *        noexcept frame is std::terminate.
+ *
  * Suppression: `// texpim-lint: allow(D2) <reason>` on the offending
  * line or the line above it. A checked-in baseline file grandfathers
  * old findings; the tool exits non-zero only on new ones.
@@ -81,6 +103,18 @@ struct SourceFile
     /** allow() annotations: line -> suppressed rule ids. An annotation
      *  covers its own line and up to three following lines. */
     std::map<int, std::set<std::string>> allow;
+    /** `texpim-lint: phase-root <reason>` markers: line -> reason.
+     *  Declares the function/method/lambda defined at (or just below)
+     *  that line a functional-phase root for P1/P2/T1. */
+    std::map<int, std::string> phaseRoot;
+    /** `texpim-lint: pool-shared <reason>` markers: the class defined
+     *  at (or just below) that line is shared read-only across the
+     *  render pool — T1 flags non-const calls on it from the phase. */
+    std::map<int, std::string> poolShared;
+    /** `texpim-lint: caller-owned <reason>` markers: the class defined
+     *  at (or just below) that line is caller-owned scratch — P2
+     *  permits its methods to write their own members. */
+    std::map<int, std::string> callerOwned;
     /** A0 findings produced while parsing annotations. */
     std::vector<Finding> annotationFindings;
 
@@ -100,6 +134,12 @@ struct Options
     std::string keyTablePath;       //!< default src/gpu/params.cc
     std::string zoneTablePath;      //!< default src/common/prof/zones.hh
     std::vector<std::string> docPaths; //!< default README.md DESIGN.md
+    /** Extra phase roots ("Class::method", "function" or
+     *  "<lambda path:line>") declared on the command line; unioned
+     *  with the in-tree `texpim-lint: phase-root` annotations. */
+    std::vector<std::string> phaseRoots;
+    bool checkBaseline = false;     //!< fail on stale baseline entries
+    bool callgraphDump = false;     //!< print the call graph and exit
     bool verbose = false;
 };
 
@@ -127,6 +167,11 @@ void runConfigRule(const std::vector<SourceFile> &files, const Options &opt,
  *  registered (with a description) in the zone table. */
 void runZoneRule(const std::vector<SourceFile> &files, const Options &opt,
                  std::vector<Finding> &out);
+
+/** Call-graph rules P1/P2/T1/E1 (see tools/lint/callgraph.hh). When
+ *  opt.callgraphDump is set, prints the graph to stdout instead. */
+void runPhaseRules(const std::vector<SourceFile> &files, const Options &opt,
+                   std::vector<Finding> &out);
 
 // ---- baseline ----
 

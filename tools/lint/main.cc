@@ -14,6 +14,12 @@
  *                           (default src/common/prof/zones.hh)
  *     --doc FILE            documentation file for C1 (repeatable;
  *                           default README.md DESIGN.md)
+ *     --phase-root SPEC     extra functional-phase root for P1/P2/T1
+ *                           ("Class::method" or "function"; repeatable;
+ *                           unioned with in-tree phase-root markers)
+ *     --check-baseline      also fail when a baseline entry matches no
+ *                           current finding (stale suppression)
+ *     --callgraph-dump      print the call-graph index and exit 0
  *     --verbose             also print baselined findings
  *
  * Scan roots default to src bench tests examples (relative to the repo
@@ -96,6 +102,12 @@ main(int argc, char **argv)
             opt.docPaths.push_back(value("--doc"));
         } else if (a == "--exclude") {
             opt.excludes.push_back(value("--exclude"));
+        } else if (a == "--phase-root") {
+            opt.phaseRoots.push_back(value("--phase-root"));
+        } else if (a == "--check-baseline") {
+            opt.checkBaseline = true;
+        } else if (a == "--callgraph-dump") {
+            opt.callgraphDump = true;
         } else if (a == "--rules") {
             std::string list = value("--rules");
             size_t start = 0;
@@ -162,12 +174,20 @@ main(int argc, char **argv)
     }
 
     // ---- run rules ----
+    if (opt.callgraphDump) {
+        std::vector<Finding> none;
+        runPhaseRules(files, opt, none);
+        return 0;
+    }
     std::vector<Finding> findings;
     runTextRules(files, opt, findings);
     if (ruleEnabled(opt, "C1"))
         runConfigRule(files, opt, findings);
     if (ruleEnabled(opt, "S2"))
         runZoneRule(files, opt, findings);
+    if (ruleEnabled(opt, "P1") || ruleEnabled(opt, "P2") ||
+        ruleEnabled(opt, "T1") || ruleEnabled(opt, "E1"))
+        runPhaseRules(files, opt, findings);
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
@@ -181,6 +201,7 @@ main(int argc, char **argv)
               });
 
     // ---- baseline ----
+    size_t stale = 0;
     if (!opt.baselinePath.empty()) {
         bool ok = false;
         std::set<std::string> baseline =
@@ -191,8 +212,27 @@ main(int argc, char **argv)
                          opt.baselinePath.c_str());
             return 2;
         }
-        for (Finding &f : findings)
-            f.baselined = baseline.count(baselineKey(f)) != 0;
+        std::set<std::string> matched;
+        for (Finding &f : findings) {
+            std::string key = baselineKey(f);
+            f.baselined = baseline.count(key) != 0;
+            if (f.baselined)
+                matched.insert(key);
+        }
+        if (opt.checkBaseline) {
+            for (const std::string &entry : baseline) {
+                if (matched.count(entry))
+                    continue;
+                ++stale;
+                std::printf("%s: [stale-baseline] entry matches no "
+                            "current finding\n",
+                            entry.c_str());
+            }
+        }
+    } else if (opt.checkBaseline) {
+        std::fprintf(stderr,
+                     "texpim-lint: --check-baseline needs --baseline\n");
+        return 2;
     }
 
     if (!opt.writeBaselinePath.empty()) {
@@ -218,7 +258,8 @@ main(int argc, char **argv)
                     f.rule.c_str(), f.message.c_str());
     }
     std::printf("texpim-lint: %zu new finding(s), %zu baselined, "
-                "%zu file(s) scanned\n",
-                fresh, old, files.size());
-    return fresh == 0 ? 0 : 1;
+                "%zu stale baseline entr%s, %zu file(s) scanned\n",
+                fresh, old, stale, stale == 1 ? "y" : "ies",
+                files.size());
+    return fresh == 0 && stale == 0 ? 0 : 1;
 }
